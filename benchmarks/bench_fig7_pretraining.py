@@ -1,0 +1,37 @@
+"""Fig. 7 — using WSCCL as a pre-training method for PathRank.
+
+Reproduces the pre-training curves: PathRank trained from scratch vs
+PathRank whose temporal path encoder is initialised from a trained WSCCL
+model, for several labelled-data budgets.  The paper's finding is that the
+pre-trained variant reaches the same quality with fewer labels and is better
+at the full label budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import format_fig7_series, run_fig7_pretraining
+
+
+def test_fig7_wsccl_pretraining_for_pathrank(bench_config, run_once):
+    fractions = (0.5, 1.0)
+    results = run_once(run_fig7_pretraining, bench_config,
+                       city_name="aalborg", label_fractions=fractions)
+    print()
+    print(format_fig7_series(results, title="Fig. 7: WSCCL pre-training for PathRank (scaled)"))
+
+    series = results["aalborg"]
+    assert set(series) == {"scratch", "pretrained"}
+    for mode in series.values():
+        assert set(mode) == set(float(f) for f in fractions)
+        for point in mode.values():
+            assert np.isfinite(point["travel_time"]["MAE"])
+            assert np.isfinite(point["ranking"]["MAE"])
+
+    # Shape check: with the full label budget the pre-trained PathRank should
+    # not be substantially worse than training from scratch on travel time
+    # (the paper has it strictly better).
+    scratch_full = series["scratch"][1.0]["travel_time"]["MAE"]
+    pretrained_full = series["pretrained"][1.0]["travel_time"]["MAE"]
+    assert pretrained_full <= scratch_full * 1.4

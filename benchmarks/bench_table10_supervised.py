@@ -1,0 +1,41 @@
+"""Table X — comparison with supervised methods across tasks.
+
+Each supervised baseline (PathRank, HMTRL, DeepGTT) is trained on a primary
+task and its frozen representation is transferred to the secondary task.
+The paper's finding: supervised representations work much better on their
+primary task than on the secondary one, while WSCCL is strong on both —
+evidence that task-specific TPRs do not generalise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import format_nested_results, run_table10_supervised_transfer
+
+
+def test_table10_supervised_cross_task_transfer(bench_config, run_once):
+    results = run_once(run_table10_supervised_transfer, bench_config,
+                       city_name="aalborg", methods=("PathRank", "DeepGTT"))
+    print()
+    print(format_nested_results(results, title="Table X: supervised transfer (scaled)"))
+
+    rows = results["aalborg"]
+    # Two directions per supervised method plus WSCCL.
+    assert "PathRank-PR" in rows and "PathRank-TTE" in rows
+    assert "DeepGTT-PR" in rows and "DeepGTT-TTE" in rows
+    assert "WSCCL" in rows
+
+    for variant in rows.values():
+        for task in ("travel_time", "ranking"):
+            for value in variant[task].values():
+                assert np.isfinite(value)
+
+    # Shape check (on PathRank, the paper's canonical supervised PR model):
+    # training on travel time (primary) must give travel-time errors no worse
+    # than transferring a ranking-trained representation, within a margin.
+    # DeepGTT is reported but not asserted — its inverse-Gaussian likelihood
+    # is poorly conditioned at this reduced scale.
+    primary = rows["PathRank-PR"]["travel_time"]["MAE"]
+    transferred = rows["PathRank-TTE"]["travel_time"]["MAE"]
+    assert primary <= transferred * 1.5

@@ -1,0 +1,33 @@
+"""Table XI — effect of the balancing factor λ.
+
+Sweeps λ (the weight of the global WSC loss in Eq. 12) over {0, 0.4, 0.8, 1}
+on the Aalborg dataset.  The paper finds λ=0.8 optimal, with λ=0 (no global
+loss) clearly worst; at this scale the bench asserts that the λ=0 end of the
+sweep does not win the ranking task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import format_nested_results, run_table11_lambda
+
+
+def test_table11_lambda_sweep(bench_config, run_once):
+    lambdas = (0.0, 0.4, 0.8, 1.0)
+    results = run_once(run_table11_lambda, bench_config,
+                       city_name="aalborg", lambdas=lambdas)
+    print()
+    print(format_nested_results(results, title="Table XI: lambda sweep (scaled)"))
+
+    rows = results["aalborg"]
+    assert set(rows) == set(float(v) for v in lambdas)
+    for sweep_point in rows.values():
+        for task in ("travel_time", "ranking"):
+            for value in sweep_point[task].values():
+                assert np.isfinite(value)
+
+    # Shape check: some λ > 0 setting should be at least as good as λ = 0 on
+    # ranking correlation (the paper's "global loss matters" conclusion).
+    best_nonzero_tau = max(rows[v]["ranking"]["tau"] for v in rows if v > 0.0)
+    assert best_nonzero_tau >= rows[0.0]["ranking"]["tau"] - 0.05

@@ -1,0 +1,30 @@
+"""Table XII — effect of the number of meta-sets N.
+
+Sweeps the number of meta-sets / curriculum stages (N = M) used by the
+curriculum.  The paper finds a sweet spot (N = 10 at full scale): too few
+experts make difficulty scores unreliable, too many make meta-sets tiny.  At
+this reduced scale we sweep {2, 4} and assert both configurations train and
+evaluate successfully.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import format_nested_results, run_table12_metasets
+
+
+def test_table12_meta_set_sweep(bench_config, run_once):
+    counts = (2, 4)
+    results = run_once(run_table12_metasets, bench_config,
+                       city_name="aalborg", meta_set_counts=counts)
+    print()
+    print(format_nested_results(results, title="Table XII: meta-set sweep (scaled)"))
+
+    rows = results["aalborg"]
+    assert set(rows) == set(counts)
+    for sweep_point in rows.values():
+        for task in ("travel_time", "ranking"):
+            for value in sweep_point[task].values():
+                assert np.isfinite(value)
+        assert -1.0 <= sweep_point["ranking"]["tau"] <= 1.0

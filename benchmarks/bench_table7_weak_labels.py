@@ -1,0 +1,33 @@
+"""Table VII — effect of different weak labels (POP vs TCI).
+
+Trains WSCCL once with peak/off-peak weak labels and once with traffic
+congestion index (four-level) weak labels on the Harbin-style dataset.  The
+paper finds both work, with TCI marginally ahead; the bench asserts both
+label types produce valid, comparable results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import format_nested_results, run_table7_weak_labels
+
+
+def test_table7_weak_label_types(bench_config, run_once):
+    results = run_once(run_table7_weak_labels, bench_config, cities=("harbin",))
+    print()
+    print(format_nested_results(results, title="Table VII: POP vs TCI weak labels (scaled)"))
+
+    rows = results["harbin"]
+    assert set(rows) == {"WSCCL-TCI", "WSCCL-POP"}
+    for variant in rows.values():
+        for task in ("travel_time", "ranking"):
+            for value in variant[task].values():
+                assert np.isfinite(value)
+
+    # Both weak label types must give usable models whose travel-time errors
+    # are within a factor of each other (the paper reports near-identical
+    # performance for POP and TCI).
+    pop_mae = rows["WSCCL-POP"]["travel_time"]["MAE"]
+    tci_mae = rows["WSCCL-TCI"]["travel_time"]["MAE"]
+    assert 0.4 <= pop_mae / tci_mae <= 2.5

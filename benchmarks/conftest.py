@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark reproduces one table or figure from the paper's evaluation
+section (§VII) at a reduced scale and prints the regenerated rows, so running
+``pytest benchmarks/ --benchmark-only`` both times the harness and emits the
+tables that EXPERIMENTS.md records.
+
+pytest-benchmark is configured for a single round per benchmark: each
+"iteration" is a full experiment (dataset build + model training +
+evaluation), so repeating it would multiply minutes of work for no extra
+statistical value.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import HarnessConfig
+
+
+def pytest_collection_modifyitems(config, items):
+    """Keep benchmarks in file order (tables are printed in paper order)."""
+    items.sort(key=lambda item: str(item.fspath))
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """The scaled-down harness configuration shared by all table benches."""
+    return HarnessConfig.benchmark()
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,60 @@
+"""Quickstart: train WSCCL and inspect temporal path representations.
+
+This script walks through the library's core workflow:
+
+1. build a synthetic city dataset (road network + simulated trips + weak labels),
+2. train the WSCCL model on the unlabeled temporal-path corpus,
+3. encode temporal paths into TPRs,
+4. show that the representation of the *same* path changes with the departure
+   time (the temporal sensitivity the paper's Fig. 1 motivates).
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import WSCCL, WSCCLConfig
+from repro.datasets import DatasetScale, TemporalPath, aalborg
+from repro.temporal import DepartureTime
+
+
+def cosine(a, b):
+    return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12))
+
+
+def main():
+    print("== 1. Building the synthetic Aalborg dataset ==")
+    city = aalborg(scale=DatasetScale.small())
+    stats = city.statistics()
+    print(f"   road network: {stats['num_nodes']} nodes, {stats['num_edges']} edges")
+    print(f"   unlabeled temporal paths: {stats['unlabeled_paths']}")
+    print(f"   weak label distribution: {stats['weak_label_distribution']}")
+
+    print("\n== 2. Training WSCCL (weakly-supervised contrastive curriculum learning) ==")
+    config = WSCCLConfig(epochs=2, num_meta_sets=4, num_stages=4)
+    model = WSCCL(city.network, config=config)
+    model.fit(city.unlabeled, batches_per_epoch=10, expert_batches=5)
+    print(f"   trained; per-stage losses: "
+          f"{[round(value, 3) for value in model.history.epoch_losses]}")
+
+    print("\n== 3. Encoding temporal paths into TPRs ==")
+    paths = city.unlabeled.temporal_paths[:5]
+    representations = model.encode(paths)
+    print(f"   encoded {len(paths)} paths into a {representations.shape} matrix")
+
+    print("\n== 4. Temporal sensitivity of the representations ==")
+    base = city.unlabeled.temporal_paths[0]
+    monday_peak = TemporalPath(base.path, DepartureTime.from_hour(0, 8.0))
+    monday_peak_view = TemporalPath(base.path, DepartureTime.from_hour(0, 8.4))
+    monday_night = TemporalPath(base.path, DepartureTime.from_hour(0, 3.0))
+    peak, peak_view, night = model.encode([monday_peak, monday_peak_view, monday_night])
+    print(f"   same path, 08:00 vs 08:24  (same weak label) : cosine = {cosine(peak, peak_view):.4f}")
+    print(f"   same path, 08:00 vs 03:00  (peak vs off-peak): cosine = {cosine(peak, night):.4f}")
+    print("   -> representations of the same path are closer within the same"
+          " peak/off-peak regime, which is what the weak labels teach.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Travel-time estimation with frozen TPRs (paper §VII, Table III left).
+
+The workload from the paper's introduction: estimate how long a path will
+take, given the departure time.  WSCCL's representations are frozen and a
+gradient boosting regressor maps them to travel times; the same harness is
+applied to a non-temporal baseline (PIM) to show why temporal information
+matters.
+
+Run with:  python examples/travel_time_estimation.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import PIMModel
+from repro.core import WSCCL, WSCCLConfig
+from repro.datasets import DatasetScale, aalborg
+from repro.downstream import evaluate_travel_time
+from repro.evaluation import format_metric_table
+
+
+def main():
+    print("Building dataset ...")
+    city = aalborg(scale=DatasetScale.small())
+
+    print("Training WSCCL on the unlabeled corpus ...")
+    wsccl = WSCCL(city.network, config=WSCCLConfig(epochs=2))
+    wsccl.fit(city.unlabeled, batches_per_epoch=10, expert_batches=5)
+
+    print("Training the PIM baseline (no temporal information) ...")
+    pim = PIMModel(dim=32, epochs=2, seed=0)
+    pim.fit(city, max_batches=10)
+
+    print("Fitting gradient boosting on frozen representations and evaluating ...\n")
+    rows = {}
+    for name, model in (("WSCCL", wsccl), ("PIM", pim)):
+        result = evaluate_travel_time(model, city.tasks.travel_time,
+                                      n_estimators=40, seed=0)
+        rows[name] = result.as_row()
+
+    print(format_metric_table(rows, title="Travel time estimation (synthetic Aalborg)"))
+    print("\nLower is better for all three metrics.  WSCCL sees the departure time,")
+    print("so it can separate peak-hour trips from free-flow trips over the same path.")
+
+
+if __name__ == "__main__":
+    main()

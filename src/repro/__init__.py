@@ -1,0 +1,19 @@
+"""repro: reproduction of WSCCL (ICDE 2022).
+
+Weakly-supervised Temporal Path Representation Learning with Contrastive
+Curriculum Learning, built entirely on numpy-based substrates (see
+``DESIGN.md`` for the system inventory and substitution notes).
+
+Quickstart
+----------
+>>> from repro.datasets import aalborg, DatasetScale
+>>> from repro.core import WSCCL, WSCCLConfig
+>>> city = aalborg(scale=DatasetScale.tiny())
+>>> model = WSCCL(city.network, config=WSCCLConfig.test_scale())
+>>> model.fit(city.unlabeled)                                    # doctest: +SKIP
+>>> tpr = model.represent(city.unlabeled.temporal_paths[0])      # doctest: +SKIP
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

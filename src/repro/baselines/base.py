@@ -1,0 +1,80 @@
+"""Common interfaces for the baseline methods (paper §VII-A3).
+
+Two kinds of baselines exist:
+
+* **Unsupervised representation models** — learn path representations from
+  the unlabeled corpus; a GBR/GBC is then fitted on the frozen
+  representations per task (same harness as WSCCL).
+* **Supervised models** — train end-to-end on the labels of one task.  They
+  also expose their internal path representation, which the cross-task
+  experiment (Table X) reuses on the secondary task.
+
+Every model implements ``encode(temporal_paths) -> (N, D) array`` so the
+downstream evaluators treat WSCCL and all baselines uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RepresentationModel", "SupervisedModel", "BASELINE_REGISTRY", "register_baseline"]
+
+
+class RepresentationModel:
+    """Interface for unsupervised path-representation baselines."""
+
+    #: Short name used in tables ("Node2vec", "DGI", ...).
+    name = "base"
+
+    def fit(self, city, **kwargs):
+        """Learn representations from a :class:`~repro.datasets.synthetic.CityDataset`.
+
+        Implementations use only the road network and the unlabeled temporal
+        paths — never the task labels.
+        """
+        raise NotImplementedError
+
+    def encode(self, temporal_paths):
+        """Return an ``(N, D)`` representation matrix for the given paths."""
+        raise NotImplementedError
+
+    def represent(self, temporal_path):
+        """Representation of a single temporal path."""
+        return self.encode([temporal_path])[0]
+
+
+class SupervisedModel(RepresentationModel):
+    """Interface for supervised baselines (trained on one task's labels)."""
+
+    def fit_supervised(self, examples, task, **kwargs):
+        """Train on labelled examples of ``task`` ('travel_time' or 'ranking')."""
+        raise NotImplementedError
+
+    def predict(self, temporal_paths):
+        """Direct predictions of the trained task for the given paths."""
+        raise NotImplementedError
+
+
+#: name -> factory callable ``(city, seed, **kwargs) -> fitted model``.
+BASELINE_REGISTRY = {}
+
+
+def register_baseline(name):
+    """Class decorator adding a baseline to :data:`BASELINE_REGISTRY`."""
+
+    def decorator(cls):
+        BASELINE_REGISTRY[name] = cls
+        cls.name = name
+        return cls
+
+    return decorator
+
+
+def mean_pool_edge_vectors(edge_vectors, paths):
+    """Average per-edge vectors over each path (shared by several baselines)."""
+    edge_vectors = np.asarray(edge_vectors, dtype=np.float64)
+    output = np.zeros((len(paths), edge_vectors.shape[1]))
+    for row, path in enumerate(paths):
+        indices = np.asarray(list(path.path), dtype=np.int64)
+        output[row] = edge_vectors[indices].mean(axis=0)
+    return output

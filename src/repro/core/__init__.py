@@ -1,0 +1,59 @@
+"""Core WSCCL implementation (the paper's primary contribution)."""
+
+from .config import WSCCLConfig
+from .curriculum import (
+    CurriculumPlan,
+    build_curriculum_stages,
+    difficulty_scores,
+    heuristic_curriculum_stages,
+    split_into_meta_sets,
+    train_experts,
+)
+from .encoder import EncodedBatch, TemporalPathEncoder, pad_paths
+from .losses import combined_wsc_loss, global_wsc_loss, local_wsc_loss
+from .model import SharedResources, WSCModel
+from .sampling import (
+    ContrastSets,
+    EdgeSampleSets,
+    augment_with_positive_views,
+    build_contrast_sets,
+    sample_edge_sets,
+)
+from .persistence import load_model, save_model
+from .spatial import SpatialEmbedding, compute_edge_topology_features
+from .temporal_embedding import TemporalEmbedding
+from .trainer import TrainingHistory, WSCTrainer
+from .transformer import TransformerPathEncoder
+from .wsccl import WSCCL
+
+__all__ = [
+    "WSCCLConfig",
+    "SpatialEmbedding",
+    "compute_edge_topology_features",
+    "TemporalEmbedding",
+    "TemporalPathEncoder",
+    "EncodedBatch",
+    "pad_paths",
+    "augment_with_positive_views",
+    "build_contrast_sets",
+    "sample_edge_sets",
+    "ContrastSets",
+    "EdgeSampleSets",
+    "global_wsc_loss",
+    "local_wsc_loss",
+    "combined_wsc_loss",
+    "WSCModel",
+    "SharedResources",
+    "WSCTrainer",
+    "TrainingHistory",
+    "split_into_meta_sets",
+    "train_experts",
+    "difficulty_scores",
+    "build_curriculum_stages",
+    "heuristic_curriculum_stages",
+    "CurriculumPlan",
+    "WSCCL",
+    "TransformerPathEncoder",
+    "save_model",
+    "load_model",
+]

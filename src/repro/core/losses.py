@@ -1,0 +1,119 @@
+"""Weakly-supervised contrastive losses (paper §V).
+
+Both functions return losses to *minimise*; they are the negations of the
+paper's objectives (Eq. 10, Eq. 11) so they can be fed directly to an
+optimiser.  :func:`combined_wsc_loss` implements Eq. 12's λ-weighted sum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+
+__all__ = ["global_wsc_loss", "local_wsc_loss", "combined_wsc_loss"]
+
+
+def _normalized(tprs, eps=1e-12):
+    norm = (tprs * tprs).sum(axis=-1, keepdims=True) ** 0.5
+    return tprs / (norm + eps)
+
+
+def global_wsc_loss(tprs, contrast_sets, temperature=0.1):
+    """Global weakly-supervised contrastive loss (negated Eq. 10).
+
+    Parameters
+    ----------
+    tprs:
+        Tensor of shape ``(batch, hidden_dim)``.
+    contrast_sets:
+        :class:`~repro.core.sampling.ContrastSets` for the batch.
+    temperature:
+        Softmax temperature applied to the cosine similarities.
+
+    Returns
+    -------
+    A scalar Tensor.  Returns a zero tensor when no query has both a
+    positive and a negative sample (degenerate batch).
+    """
+    normalized = _normalized(tprs)
+    similarities = (normalized @ normalized.transpose()) * (1.0 / temperature)
+
+    terms = []
+    for i in range(len(contrast_sets.positives)):
+        positives = contrast_sets.positives[i]
+        negatives = contrast_sets.negatives[i]
+        if len(positives) == 0 or len(negatives) == 0:
+            continue
+        positive_sims = similarities[i, positives]
+        negative_sims = similarities[i, negatives]
+        denominator = F.logsumexp(negative_sims, axis=-1)
+        # (1/|S_i|) * sum_j [ sim(i, j) - log sum_k exp(sim(i, k)) ]
+        objective = (positive_sims - denominator).mean()
+        terms.append(objective)
+
+    if not terms:
+        return nn.Tensor(np.zeros(()), requires_grad=False)
+    total = terms[0]
+    for term in terms[1:]:
+        total = total + term
+    return -(total * (1.0 / len(terms)))
+
+
+def local_wsc_loss(tprs, edge_representations, edge_sets, temperature=0.1):
+    """Local weakly-supervised contrastive loss (negated Eq. 11).
+
+    Parameters
+    ----------
+    tprs:
+        Tensor ``(batch, hidden_dim)`` — the query TPRs.
+    edge_representations:
+        Tensor ``(batch, max_len, hidden_dim)`` — the STERs.
+    edge_sets:
+        :class:`~repro.core.sampling.EdgeSampleSets` giving the sampled
+        positive/negative edge positions per query.
+    """
+    terms = []
+    batch = tprs.shape[0]
+    for i in range(batch):
+        pos_rows = edge_sets.positive_rows[i]
+        pos_cols = edge_sets.positive_cols[i]
+        neg_rows = edge_sets.negative_rows[i]
+        neg_cols = edge_sets.negative_cols[i]
+        if len(pos_rows) == 0 or len(neg_rows) == 0:
+            continue
+        query = tprs[i:i + 1, :]                               # (1, d_h)
+        positive_edges = edge_representations[pos_rows, pos_cols]  # (P, d_h)
+        negative_edges = edge_representations[neg_rows, neg_cols]  # (N, d_h)
+
+        positive_sims = F.cosine_similarity(query, positive_edges) * (1.0 / temperature)
+        negative_sims = F.cosine_similarity(query, negative_edges) * (1.0 / temperature)
+
+        objective = (
+            F.logsumexp(positive_sims, axis=-1) - F.logsumexp(negative_sims, axis=-1)
+        ) * (1.0 / len(pos_rows))
+        terms.append(objective)
+
+    if not terms:
+        return nn.Tensor(np.zeros(()), requires_grad=False)
+    total = terms[0]
+    for term in terms[1:]:
+        total = total + term
+    return -(total * (1.0 / len(terms)))
+
+
+def combined_wsc_loss(tprs, edge_representations, contrast_sets, edge_sets,
+                      lambda_balance=0.8, temperature=0.1):
+    """λ-weighted combination of the global and local losses (negated Eq. 12).
+
+    ``lambda_balance = 1`` uses only the global loss ("w/o Local" ablation);
+    ``lambda_balance = 0`` uses only the local loss ("w/o Global").
+    """
+    if lambda_balance >= 1.0:
+        return global_wsc_loss(tprs, contrast_sets, temperature=temperature)
+    if lambda_balance <= 0.0:
+        return local_wsc_loss(tprs, edge_representations, edge_sets, temperature=temperature)
+    global_term = global_wsc_loss(tprs, contrast_sets, temperature=temperature)
+    local_term = local_wsc_loss(tprs, edge_representations, edge_sets, temperature=temperature)
+    return global_term * lambda_balance + local_term * (1.0 - lambda_balance)

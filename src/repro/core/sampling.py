@@ -1,0 +1,157 @@
+"""Positive / negative sample generation from weak labels (paper §V-A).
+
+Given a minibatch of temporal paths with weak labels:
+
+* positives of a query are the other temporal paths in the batch with the
+  *same path* and the *same weak label* (their exact departure times differ),
+* negatives are everything else: same path / different label, different path /
+  same label, and different path / different label.
+
+Real minibatches rarely contain two trips over the exact same path, so —
+like the original artifact — we *augment* each batch: every temporal path is
+paired with a second view that keeps the path and weak label but re-samples
+the departure time inside the same label window.  This guarantees at least
+one positive per query while preserving the paper's definition.
+
+For the local loss (Eq. 11), positive/negative *edge* samples are drawn at
+random from the positive/negative temporal paths of each query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.temporal_paths import TemporalPath
+
+__all__ = [
+    "augment_with_positive_views",
+    "build_contrast_sets",
+    "sample_edge_sets",
+    "ContrastSets",
+    "EdgeSampleSets",
+]
+
+
+def _jitter_departure(departure_time, weak_labeler, rng, max_shift_minutes=45, attempts=8):
+    """Shift a departure time while keeping its weak label unchanged."""
+    label = weak_labeler.label(departure_time)
+    for _ in range(attempts):
+        shift = float(rng.uniform(-max_shift_minutes, max_shift_minutes)) * 60.0
+        candidate = departure_time.shift(shift)
+        if weak_labeler.label(candidate) == label:
+            return candidate
+    return departure_time
+
+
+def augment_with_positive_views(batch, weak_labeler, rng, max_shift_minutes=45):
+    """Return the batch with one positive view appended for each sample.
+
+    ``batch`` is a list of ``(TemporalPath, weak_label)``; the result has
+    length ``2 * len(batch)`` and positive views carry the same weak label.
+    """
+    augmented = list(batch)
+    for temporal_path, label in batch:
+        view_time = _jitter_departure(
+            temporal_path.departure_time, weak_labeler, rng,
+            max_shift_minutes=max_shift_minutes,
+        )
+        view = TemporalPath(path=temporal_path.path, departure_time=view_time)
+        augmented.append((view, label))
+    return augmented
+
+
+@dataclass
+class ContrastSets:
+    """Positive and negative index sets per query within a batch.
+
+    ``positives[i]`` / ``negatives[i]`` are numpy index arrays into the batch
+    (the paper's ``S_tpi`` and ``N_tpi``).
+    """
+
+    positives: list
+    negatives: list
+
+    def queries_with_positives(self):
+        """Indices of queries whose positive set is non-empty."""
+        return [i for i, pos in enumerate(self.positives) if len(pos) > 0]
+
+
+def build_contrast_sets(batch):
+    """Compute ``S_tpi`` and ``N_tpi`` for every sample in the batch.
+
+    ``batch`` is a list of ``(TemporalPath, weak_label)``.
+    """
+    paths = [tuple(tp.path) for tp, _ in batch]
+    labels = [label for _, label in batch]
+    size = len(batch)
+    positives = []
+    negatives = []
+    for i in range(size):
+        positive = [j for j in range(size)
+                    if j != i and paths[j] == paths[i] and labels[j] == labels[i]]
+        negative = [j for j in range(size) if j != i and j not in positive]
+        positives.append(np.asarray(positive, dtype=np.int64))
+        negatives.append(np.asarray(negative, dtype=np.int64))
+    return ContrastSets(positives=positives, negatives=negatives)
+
+
+@dataclass
+class EdgeSampleSets:
+    """Sampled positive/negative edge positions for the local loss.
+
+    For query ``i``, ``positive_rows[i]`` / ``positive_cols[i]`` index into
+    the (batch, time) grid of spatio-temporal edge representations; likewise
+    for negatives.  Empty arrays mean the query has no usable samples.
+    """
+
+    positive_rows: list
+    positive_cols: list
+    negative_rows: list
+    negative_cols: list
+
+
+def sample_edge_sets(batch, contrast_sets, mask, rng, edges_per_path=2):
+    """Draw positive/negative edge samples for the local WSC loss.
+
+    Positive edges come from the query's positive temporal paths (including
+    the query itself, whose edges trivially share its path and weak label);
+    negative edges come from its negative temporal paths.
+    """
+    size = len(batch)
+    lengths = mask.sum(axis=1).astype(np.int64)
+
+    positive_rows, positive_cols = [], []
+    negative_rows, negative_cols = [], []
+    for i in range(size):
+        pos_paths = np.concatenate(([i], contrast_sets.positives[i])).astype(np.int64)
+        neg_paths = contrast_sets.negatives[i]
+
+        rows_p, cols_p = _draw_edges(pos_paths, lengths, rng, edges_per_path)
+        rows_n, cols_n = _draw_edges(neg_paths, lengths, rng, edges_per_path)
+        positive_rows.append(rows_p)
+        positive_cols.append(cols_p)
+        negative_rows.append(rows_n)
+        negative_cols.append(cols_n)
+
+    return EdgeSampleSets(
+        positive_rows=positive_rows,
+        positive_cols=positive_cols,
+        negative_rows=negative_rows,
+        negative_cols=negative_cols,
+    )
+
+
+def _draw_edges(path_indices, lengths, rng, edges_per_path):
+    rows = []
+    cols = []
+    for row in path_indices:
+        valid = int(lengths[row])
+        if valid <= 0:
+            continue
+        count = min(edges_per_path, valid)
+        chosen = rng.choice(valid, size=count, replace=False)
+        rows.extend([int(row)] * count)
+        cols.extend(int(c) for c in chosen)
+    return np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64)

@@ -1,0 +1,86 @@
+"""Temporal embedding layer (paper §IV-A, Eq. 2).
+
+A temporal graph over ``(day of week, time slot)`` nodes is embedded with
+node2vec; the temporal embedding of a departure time is the embedding of its
+slot node.  The embedding is kept frozen during WSC training, matching the
+paper's pipeline where node2vec is a pre-processing step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..graph import Node2Vec, Node2VecConfig
+from ..temporal.temporal_graph import build_temporal_graph
+from ..temporal.timeslots import DAYS_PER_WEEK
+
+__all__ = ["TemporalEmbedding"]
+
+
+class TemporalEmbedding(nn.Module):
+    """Map departure times to temporal feature vectors ``t_all``.
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.core.config.WSCCLConfig`; ``temporal_dim`` and
+        ``slots_per_day`` control the embedding size and graph granularity.
+    embeddings:
+        Optional pre-computed ``(slots_per_day * 7, temporal_dim)`` array to
+        reuse across models (e.g. the curriculum experts).
+    """
+
+    def __init__(self, config, embeddings=None):
+        super().__init__()
+        self.config = config
+        self.slots_per_day = config.slots_per_day
+        self.num_nodes = self.slots_per_day * DAYS_PER_WEEK
+
+        if embeddings is None:
+            embeddings = self._fit_node2vec(config)
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.shape != (self.num_nodes, config.temporal_dim):
+            raise ValueError(
+                f"temporal embeddings have shape {embeddings.shape}, "
+                f"expected {(self.num_nodes, config.temporal_dim)}"
+            )
+        self._embeddings = embeddings
+
+    def _fit_node2vec(self, config):
+        graph = build_temporal_graph(slots_per_day=self.slots_per_day)
+        node2vec = Node2Vec(Node2VecConfig(
+            dim=config.temporal_dim,
+            walks_per_node=config.node2vec_walks,
+            walk_length=config.node2vec_walk_length,
+            window=config.node2vec_window,
+            epochs=config.node2vec_epochs,
+            seed=config.seed,
+        ))
+        return node2vec.fit_temporal_graph(graph)
+
+    @property
+    def output_dim(self):
+        """``d_tem``."""
+        return self.config.temporal_dim
+
+    @property
+    def embeddings(self):
+        """The frozen slot-node embedding matrix."""
+        return self._embeddings
+
+    def slot_index(self, departure_time):
+        """Temporal-graph node index of a departure time at this granularity."""
+        seconds_per_slot = 86400.0 / self.slots_per_day
+        slot = int(departure_time.seconds // seconds_per_slot)
+        slot = min(slot, self.slots_per_day - 1)
+        return departure_time.day_of_week * self.slots_per_day + slot
+
+    def forward(self, departure_times):
+        """Temporal embedding ``t_all`` for a batch of departure times.
+
+        Returns a constant (non-trainable) Tensor of shape
+        ``(batch, temporal_dim)``.
+        """
+        indices = np.array([self.slot_index(t) for t in departure_times], dtype=np.int64)
+        return nn.Tensor(self._embeddings[indices])

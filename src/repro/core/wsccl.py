@@ -1,0 +1,138 @@
+"""WSCCL: the advanced framework combining WSC with curriculum learning.
+
+:class:`WSCCL` is the library's main entry point.  ``fit`` runs the full
+pipeline of the paper: expert training on length-sorted meta-sets, difficulty
+scoring, curriculum construction, staged training easy → hard, and a final
+stage over the whole corpus.  ``fit_without_curriculum`` gives the "w/o CL"
+ablation, and ``fit_with_heuristic_curriculum`` the Table V baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import WSCCLConfig
+from .curriculum import (
+    build_curriculum_stages,
+    difficulty_scores,
+    heuristic_curriculum_stages,
+    split_into_meta_sets,
+    train_experts,
+)
+from .model import SharedResources, WSCModel
+from .trainer import WSCTrainer
+
+__all__ = ["WSCCL"]
+
+
+class WSCCL:
+    """Weakly-Supervised Contrastive Curriculum Learning.
+
+    Parameters
+    ----------
+    network:
+        Road network the temporal paths live on.
+    config:
+        :class:`~repro.core.config.WSCCLConfig`; defaults are CPU-scaled.
+    resources:
+        Optional shared frozen node2vec features (reused across models).
+    use_temporal:
+        Set False for the WSCCL-NT ablation.
+
+    Attributes
+    ----------
+    model:
+        The trained :class:`~repro.core.model.WSCModel` after ``fit``.
+    plan:
+        The :class:`~repro.core.curriculum.CurriculumPlan` used (if any).
+    """
+
+    def __init__(self, network, config=None, resources=None, use_temporal=True,
+                 encoder_type="lstm"):
+        self.config = config or WSCCLConfig()
+        self.network = network
+        self.resources = resources or SharedResources(network, self.config)
+        self.use_temporal = use_temporal
+        self.encoder_type = encoder_type
+        self.model = WSCModel(
+            network, config=self.config, resources=self.resources,
+            use_temporal=use_temporal, encoder_type=encoder_type,
+        )
+        self.trainer = WSCTrainer(self.model, config=self.config)
+        self.plan = None
+        self.experts = []
+
+    # ------------------------------------------------------------------
+    # Training entry points
+    # ------------------------------------------------------------------
+    def fit(self, dataset, batches_per_epoch=None, expert_batches=None):
+        """Full WSCCL training (curriculum learned from expert agreement)."""
+        samples = list(dataset)
+        meta_sets, assignments = split_into_meta_sets(samples, self.config.num_meta_sets)
+        self.experts = train_experts(
+            self.network, meta_sets, self.config,
+            resources=self.resources, weak_labeler=dataset.weak_labeler,
+            batches_per_epoch=expert_batches,
+        )
+        scores = difficulty_scores(samples, assignments, self.experts)
+        self.plan = build_curriculum_stages(
+            samples, scores, self.config.num_stages,
+            rng=np.random.default_rng(self.config.seed),
+        )
+        self._train_on_plan(self.plan, dataset.weak_labeler, batches_per_epoch)
+        return self
+
+    def fit_with_heuristic_curriculum(self, dataset, batches_per_epoch=None):
+        """Table V baseline: curriculum ordered by path length only."""
+        samples = list(dataset)
+        self.plan = heuristic_curriculum_stages(
+            samples, self.config.num_stages,
+            rng=np.random.default_rng(self.config.seed),
+        )
+        self._train_on_plan(self.plan, dataset.weak_labeler, batches_per_epoch)
+        return self
+
+    def fit_without_curriculum(self, dataset, batches_per_epoch=None):
+        """"w/o CL" ablation: plain WSC training on shuffled data."""
+        self.trainer.fit(dataset, epochs=self.config.epochs,
+                         batches_per_epoch=batches_per_epoch)
+        return self
+
+    def _train_on_plan(self, plan, weak_labeler, batches_per_epoch):
+        for stage in plan.stages:
+            if len(stage) < 2:
+                continue
+            self.trainer.fit_on_samples(
+                stage, weak_labeler, epochs=1, batches_per_epoch=batches_per_epoch
+            )
+        if len(plan.final_stage) >= 2:
+            self.trainer.fit_on_samples(
+                plan.final_stage, weak_labeler,
+                epochs=self.config.final_stage_epochs,
+                batches_per_epoch=batches_per_epoch,
+            )
+
+    # ------------------------------------------------------------------
+    # Representation interface (shared with the baselines)
+    # ------------------------------------------------------------------
+    @property
+    def representation_dim(self):
+        return self.model.representation_dim
+
+    def encode(self, temporal_paths, batch_size=64):
+        """TPR matrix for a list of temporal paths."""
+        return self.model.encode(temporal_paths, batch_size=batch_size)
+
+    def represent(self, temporal_path):
+        """TPR of a single temporal path."""
+        return self.model.represent(temporal_path)
+
+    # ------------------------------------------------------------------
+    def encoder_state_dict(self):
+        """Trainable encoder parameters, for use as pre-training (Fig. 7)."""
+        return self.model.encoder.state_dict()
+
+    @property
+    def history(self):
+        """Training history of the main model."""
+        return self.trainer.history

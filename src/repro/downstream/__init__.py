@@ -1,0 +1,44 @@
+"""Downstream tasks: gradient boosting models, metrics, task evaluators."""
+
+from .gbm import GradientBoostingClassifier, GradientBoostingRegressor
+from .metrics import (
+    accuracy,
+    grouped_rank_correlation,
+    hit_rate,
+    kendall_tau,
+    mae,
+    mape,
+    mare,
+    spearman_rho,
+)
+from .tasks import (
+    RankingResult,
+    RecommendationResult,
+    TravelTimeResult,
+    evaluate_all_tasks,
+    evaluate_ranking,
+    evaluate_recommendation,
+    evaluate_travel_time,
+)
+from .tree import DecisionTreeRegressor
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "GradientBoostingRegressor",
+    "GradientBoostingClassifier",
+    "mae",
+    "mare",
+    "mape",
+    "kendall_tau",
+    "spearman_rho",
+    "grouped_rank_correlation",
+    "accuracy",
+    "hit_rate",
+    "TravelTimeResult",
+    "RankingResult",
+    "RecommendationResult",
+    "evaluate_travel_time",
+    "evaluate_ranking",
+    "evaluate_recommendation",
+    "evaluate_all_tasks",
+]

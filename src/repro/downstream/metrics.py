@@ -1,0 +1,136 @@
+"""Evaluation metrics for the three downstream tasks (paper Eq. 14–16).
+
+Regression: MAE, MARE, MAPE.  Ranking: Kendall's τ and Spearman's ρ computed
+per query group and averaged.  Classification: accuracy and hit rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mae",
+    "mare",
+    "mape",
+    "kendall_tau",
+    "spearman_rho",
+    "grouped_rank_correlation",
+    "accuracy",
+    "hit_rate",
+]
+
+
+def _validate(truth, prediction):
+    truth = np.asarray(truth, dtype=np.float64)
+    prediction = np.asarray(prediction, dtype=np.float64)
+    if truth.shape != prediction.shape:
+        raise ValueError(f"shape mismatch: {truth.shape} vs {prediction.shape}")
+    if truth.size == 0:
+        raise ValueError("metrics need at least one example")
+    return truth, prediction
+
+
+def mae(truth, prediction):
+    """Mean absolute error."""
+    truth, prediction = _validate(truth, prediction)
+    return float(np.mean(np.abs(truth - prediction)))
+
+
+def mare(truth, prediction):
+    """Mean absolute relative error: sum |err| / sum |truth|."""
+    truth, prediction = _validate(truth, prediction)
+    denominator = np.sum(np.abs(truth))
+    if denominator == 0:
+        raise ValueError("MARE undefined when all ground-truth values are zero")
+    return float(np.sum(np.abs(truth - prediction)) / denominator)
+
+
+def mape(truth, prediction, eps=1e-9):
+    """Mean absolute percentage error (in percent)."""
+    truth, prediction = _validate(truth, prediction)
+    return float(np.mean(np.abs((truth - prediction) / np.maximum(np.abs(truth), eps))) * 100.0)
+
+
+def kendall_tau(truth, prediction):
+    """Kendall rank correlation coefficient (Eq. 15, concordant-discordant form)."""
+    truth, prediction = _validate(truth, prediction)
+    n = len(truth)
+    if n < 2:
+        return 0.0
+    concordant = 0
+    discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            a = np.sign(truth[i] - truth[j])
+            b = np.sign(prediction[i] - prediction[j])
+            product = a * b
+            if product > 0:
+                concordant += 1
+            elif product < 0:
+                discordant += 1
+    return float((concordant - discordant) / (n * (n - 1) / 2.0))
+
+
+def _ranks(values):
+    """Average ranks (ties share the mean rank), 1-based."""
+    values = np.asarray(values, dtype=np.float64)
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=np.float64)
+    ranks[order] = np.arange(1, len(values) + 1)
+    # Average ties.
+    for value in np.unique(values):
+        mask = values == value
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    return ranks
+
+
+def spearman_rho(truth, prediction):
+    """Spearman rank correlation coefficient (Eq. 15, rank-difference form)."""
+    truth, prediction = _validate(truth, prediction)
+    n = len(truth)
+    if n < 2:
+        return 0.0
+    rank_truth = _ranks(truth)
+    rank_prediction = _ranks(prediction)
+    d = rank_truth - rank_prediction
+    return float(1.0 - 6.0 * np.sum(d ** 2) / (n * (n ** 2 - 1)))
+
+
+def grouped_rank_correlation(truth, prediction, groups, statistic="kendall"):
+    """Average a rank correlation over query groups (candidate sets).
+
+    Groups with fewer than two candidates are skipped, matching how the path
+    ranking evaluation works: correlations only make sense within the
+    candidate set of one trip.
+    """
+    truth = np.asarray(truth, dtype=np.float64)
+    prediction = np.asarray(prediction, dtype=np.float64)
+    groups = np.asarray(groups)
+    func = kendall_tau if statistic == "kendall" else spearman_rho
+    values = []
+    for group in np.unique(groups):
+        mask = groups == group
+        if mask.sum() < 2:
+            continue
+        values.append(func(truth[mask], prediction[mask]))
+    return float(np.mean(values)) if values else 0.0
+
+
+def accuracy(truth, prediction):
+    """Classification accuracy (Eq. 16)."""
+    truth = np.asarray(truth, dtype=np.int64)
+    prediction = np.asarray(prediction, dtype=np.int64)
+    if truth.shape != prediction.shape or truth.size == 0:
+        raise ValueError("accuracy needs equal-length, non-empty arrays")
+    return float(np.mean(truth == prediction))
+
+
+def hit_rate(truth, prediction):
+    """Hit rate = recall of the positive class: TP / (TP + FN) (Eq. 16)."""
+    truth = np.asarray(truth, dtype=np.int64)
+    prediction = np.asarray(prediction, dtype=np.int64)
+    positives = truth == 1
+    if positives.sum() == 0:
+        return 0.0
+    return float(np.mean(prediction[positives] == 1))

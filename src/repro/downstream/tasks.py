@@ -1,0 +1,172 @@
+"""Downstream task evaluators (paper §VII-A2 / §VII-A4).
+
+Each evaluator takes a *representation model* — any object exposing
+``encode(list_of_temporal_paths) -> (N, D) numpy array`` — plus the labelled
+task examples, fits the appropriate gradient boosting model on the training
+split of the frozen representations, and reports the paper's metrics on the
+test split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.splits import grouped_train_test_split, train_test_split
+from .gbm import GradientBoostingClassifier, GradientBoostingRegressor
+from .metrics import accuracy, grouped_rank_correlation, hit_rate, mae, mape, mare
+
+__all__ = [
+    "TravelTimeResult",
+    "RankingResult",
+    "RecommendationResult",
+    "evaluate_travel_time",
+    "evaluate_ranking",
+    "evaluate_recommendation",
+    "evaluate_all_tasks",
+]
+
+
+@dataclass(frozen=True)
+class TravelTimeResult:
+    """Travel-time estimation metrics (Table III, left)."""
+
+    mae: float
+    mare: float
+    mape: float
+
+    def as_row(self):
+        return {"MAE": self.mae, "MARE": self.mare, "MAPE": self.mape}
+
+
+@dataclass(frozen=True)
+class RankingResult:
+    """Path-ranking metrics (Table III, right)."""
+
+    mae: float
+    kendall_tau: float
+    spearman_rho: float
+
+    def as_row(self):
+        return {"MAE": self.mae, "tau": self.kendall_tau, "rho": self.spearman_rho}
+
+
+@dataclass(frozen=True)
+class RecommendationResult:
+    """Path-recommendation metrics (Table IV)."""
+
+    accuracy: float
+    hit_rate: float
+
+    def as_row(self):
+        return {"Acc": self.accuracy, "HR": self.hit_rate}
+
+
+def _encode(model, temporal_paths):
+    representations = model.encode(temporal_paths)
+    representations = np.asarray(representations, dtype=np.float64)
+    if representations.ndim != 2 or len(representations) != len(temporal_paths):
+        raise ValueError("representation model returned a malformed matrix")
+    return representations
+
+
+def evaluate_travel_time(model, examples, test_fraction=0.2, seed=0,
+                         n_estimators=40, max_depth=3):
+    """Fit GBR on TPRs -> travel time; report MAE / MARE / MAPE on the test split."""
+    train, test = train_test_split(examples, test_fraction=test_fraction, seed=seed)
+    if not train or not test:
+        raise ValueError("need at least one train and one test example")
+
+    train_x = _encode(model, [e.temporal_path for e in train])
+    test_x = _encode(model, [e.temporal_path for e in test])
+    train_y = np.array([e.travel_time for e in train])
+    test_y = np.array([e.travel_time for e in test])
+
+    regressor = GradientBoostingRegressor(
+        n_estimators=n_estimators, max_depth=max_depth, seed=seed,
+    ).fit(train_x, train_y)
+    predictions = regressor.predict(test_x)
+    return TravelTimeResult(
+        mae=mae(test_y, predictions),
+        mare=mare(test_y, predictions),
+        mape=mape(test_y, predictions),
+    )
+
+
+def evaluate_ranking(model, examples, test_fraction=0.2, seed=0,
+                     n_estimators=40, max_depth=3):
+    """Fit GBR on TPRs -> ranking score; report MAE / τ / ρ on the test split.
+
+    The split is grouped by trip so the candidate set of one trip never
+    straddles train and test, and the rank correlations are computed within
+    each test trip's candidate set and averaged.
+    """
+    groups = [e.group for e in examples]
+    train, test = grouped_train_test_split(examples, groups,
+                                           test_fraction=test_fraction, seed=seed)
+    if not train or not test:
+        raise ValueError("need at least one train and one test group")
+
+    train_x = _encode(model, [e.temporal_path for e in train])
+    test_x = _encode(model, [e.temporal_path for e in test])
+    train_y = np.array([e.score for e in train])
+    test_y = np.array([e.score for e in test])
+    test_groups = np.array([e.group for e in test])
+
+    regressor = GradientBoostingRegressor(
+        n_estimators=n_estimators, max_depth=max_depth, seed=seed,
+    ).fit(train_x, train_y)
+    predictions = regressor.predict(test_x)
+    return RankingResult(
+        mae=mae(test_y, predictions),
+        kendall_tau=grouped_rank_correlation(test_y, predictions, test_groups, "kendall"),
+        spearman_rho=grouped_rank_correlation(test_y, predictions, test_groups, "spearman"),
+    )
+
+
+def evaluate_recommendation(model, examples, test_fraction=0.2, seed=0,
+                            n_estimators=40, max_depth=3):
+    """Fit GBC on TPRs -> chosen/not-chosen; report accuracy and hit rate."""
+    groups = [e.group for e in examples]
+    train, test = grouped_train_test_split(examples, groups,
+                                           test_fraction=test_fraction, seed=seed)
+    if not train or not test:
+        raise ValueError("need at least one train and one test group")
+
+    train_x = _encode(model, [e.temporal_path for e in train])
+    test_x = _encode(model, [e.temporal_path for e in test])
+    train_y = np.array([e.chosen for e in train])
+    test_y = np.array([e.chosen for e in test])
+
+    if len(np.unique(train_y)) < 2:
+        # Degenerate labelled split; predict the majority class.
+        predictions = np.full(len(test_y), int(round(train_y.mean())))
+    else:
+        classifier = GradientBoostingClassifier(
+            n_estimators=n_estimators, max_depth=max_depth, seed=seed,
+        ).fit(train_x, train_y)
+        predictions = classifier.predict(test_x)
+    return RecommendationResult(
+        accuracy=accuracy(test_y, predictions),
+        hit_rate=hit_rate(test_y, predictions),
+    )
+
+
+def evaluate_all_tasks(model, tasks, test_fraction=0.2, seed=0, n_estimators=40):
+    """Run all three downstream evaluations against one representation model.
+
+    ``tasks`` is a :class:`~repro.datasets.tasks.TaskDatasets`.  Returns a
+    dict with keys ``travel_time``, ``ranking`` and ``recommendation``.
+    """
+    return {
+        "travel_time": evaluate_travel_time(
+            model, tasks.travel_time, test_fraction=test_fraction,
+            seed=seed, n_estimators=n_estimators),
+        "ranking": evaluate_ranking(
+            model, tasks.ranking, test_fraction=test_fraction,
+            seed=seed, n_estimators=n_estimators),
+        "recommendation": evaluate_recommendation(
+            model, tasks.recommendation, test_fraction=test_fraction,
+            seed=seed, n_estimators=n_estimators),
+    }

@@ -1,0 +1,145 @@
+"""CART-style regression trees, the weak learners for gradient boosting.
+
+The paper maps frozen TPRs to task labels with scikit-learn's Gradient
+Boosting Regressor / Classifier; scikit-learn is unavailable offline, so
+:mod:`repro.downstream.gbm` rebuilds the estimator on top of these trees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DecisionTreeRegressor"]
+
+
+class _Node:
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self, value):
+        self.feature = None
+        self.threshold = None
+        self.left = None
+        self.right = None
+        self.value = value
+
+    @property
+    def is_leaf(self):
+        return self.feature is None
+
+
+class DecisionTreeRegressor:
+    """Least-squares regression tree with depth / leaf-size limits.
+
+    Split finding uses the classic variance-reduction criterion evaluated on
+    a bounded number of candidate thresholds per feature, which keeps fitting
+    fast on the small embedding matrices used here.
+    """
+
+    def __init__(self, max_depth=3, min_samples_leaf=5, max_thresholds=16,
+                 max_features=None, seed=0):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_thresholds = max_thresholds
+        self.max_features = max_features
+        self.rng = np.random.default_rng(seed)
+        self._root = None
+
+    # ------------------------------------------------------------------
+    def fit(self, features, targets):
+        """Fit the tree to ``features`` (N, D) and ``targets`` (N,)."""
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D array")
+        if len(features) != len(targets):
+            raise ValueError("features and targets must have the same length")
+        if len(features) == 0:
+            raise ValueError("cannot fit a tree on zero samples")
+        self._root = self._grow(features, targets, depth=0)
+        return self
+
+    def predict(self, features):
+        """Predict targets for ``features`` (N, D)."""
+        if self._root is None:
+            raise RuntimeError("tree has not been fitted")
+        features = np.asarray(features, dtype=np.float64)
+        return np.array([self._predict_row(row) for row in features])
+
+    # ------------------------------------------------------------------
+    def _predict_row(self, row):
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+    def _grow(self, features, targets, depth):
+        node = _Node(value=float(targets.mean()))
+        if depth >= self.max_depth or len(targets) < 2 * self.min_samples_leaf:
+            return node
+        if np.allclose(targets, targets[0]):
+            return node
+
+        split = self._best_split(features, targets)
+        if split is None:
+            return node
+        feature, threshold = split
+        left_mask = features[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(features[left_mask], targets[left_mask], depth + 1)
+        node.right = self._grow(features[~left_mask], targets[~left_mask], depth + 1)
+        return node
+
+    def _candidate_features(self, num_features):
+        if self.max_features is None or self.max_features >= num_features:
+            return np.arange(num_features)
+        return self.rng.choice(num_features, size=self.max_features, replace=False)
+
+    def _best_split(self, features, targets):
+        num_samples, num_features = features.shape
+        total_sum = targets.sum()
+        total_sq = (targets ** 2).sum()
+        parent_impurity = total_sq - total_sum ** 2 / num_samples
+
+        best_gain = 1e-12
+        best = None
+        for feature in self._candidate_features(num_features):
+            column = features[:, feature]
+            thresholds = self._thresholds(column)
+            if thresholds is None:
+                continue
+            order = np.argsort(column, kind="stable")
+            sorted_column = column[order]
+            sorted_targets = targets[order]
+            cum_sum = np.cumsum(sorted_targets)
+            cum_sq = np.cumsum(sorted_targets ** 2)
+            for threshold in thresholds:
+                left_count = int(np.searchsorted(sorted_column, threshold, side="right"))
+                right_count = num_samples - left_count
+                if left_count < self.min_samples_leaf or right_count < self.min_samples_leaf:
+                    continue
+                left_sum = cum_sum[left_count - 1]
+                left_sq = cum_sq[left_count - 1]
+                right_sum = total_sum - left_sum
+                right_sq = total_sq - left_sq
+                left_impurity = left_sq - left_sum ** 2 / left_count
+                right_impurity = right_sq - right_sum ** 2 / right_count
+                gain = parent_impurity - left_impurity - right_impurity
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(feature), float(threshold))
+        return best
+
+    def _thresholds(self, column):
+        unique = np.unique(column)
+        if len(unique) < 2:
+            return None
+        midpoints = (unique[:-1] + unique[1:]) / 2.0
+        if len(midpoints) > self.max_thresholds:
+            indices = np.linspace(0, len(midpoints) - 1, self.max_thresholds).astype(int)
+            midpoints = midpoints[indices]
+        return midpoints

@@ -1,0 +1,7 @@
+"""Graph embedding substrate: node2vec (biased walks + skip-gram)."""
+
+from .node2vec import Node2Vec, Node2VecConfig
+from .skipgram import SkipGramTrainer
+from .walks import RandomWalker
+
+__all__ = ["Node2Vec", "Node2VecConfig", "RandomWalker", "SkipGramTrainer"]

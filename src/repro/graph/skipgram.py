@@ -1,0 +1,113 @@
+"""Skip-gram with negative sampling (SGNS) over random-walk corpora.
+
+This is the word2vec-style objective node2vec optimises.  The implementation
+is vectorised numpy (no autograd needed — the SGNS gradient has a closed
+form), which keeps embedding the 2016-node temporal graph fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SkipGramTrainer"]
+
+
+def _sigmoid(x):
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+class SkipGramTrainer:
+    """Train node embeddings with skip-gram + negative sampling.
+
+    Parameters
+    ----------
+    num_nodes:
+        Vocabulary size.
+    dim:
+        Embedding dimensionality.
+    window:
+        Context window radius applied to each walk.
+    negatives:
+        Number of negative samples per positive pair.
+    lr:
+        SGD learning rate.
+    """
+
+    def __init__(self, num_nodes, dim, window=5, negatives=5, lr=0.025, seed=0,
+                 batch_size=512):
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        self.num_nodes = num_nodes
+        self.dim = dim
+        self.window = window
+        self.negatives = negatives
+        self.lr = lr
+        self.batch_size = batch_size
+        self.rng = np.random.default_rng(seed)
+        scale = 0.5 / dim
+        self.in_embeddings = self.rng.uniform(-scale, scale, size=(num_nodes, dim))
+        self.out_embeddings = np.zeros((num_nodes, dim))
+
+    # ------------------------------------------------------------------
+    def _pairs_from_walk(self, walk):
+        """(center, context) pairs within the window along a walk."""
+        pairs = []
+        for index, center in enumerate(walk):
+            low = max(0, index - self.window)
+            high = min(len(walk), index + self.window + 1)
+            for context_index in range(low, high):
+                if context_index != index:
+                    pairs.append((center, walk[context_index]))
+        return pairs
+
+    def _noise_distribution(self, walks):
+        counts = np.zeros(self.num_nodes)
+        for walk in walks:
+            for node in walk:
+                counts[node] += 1
+        counts = np.power(counts, 0.75)
+        total = counts.sum()
+        if total == 0:
+            return np.full(self.num_nodes, 1.0 / self.num_nodes)
+        return counts / total
+
+    # ------------------------------------------------------------------
+    def train(self, walks, epochs=1):
+        """Run SGNS over the walk corpus for ``epochs`` passes."""
+        noise = self._noise_distribution(walks)
+        pairs = []
+        for walk in walks:
+            pairs.extend(self._pairs_from_walk(walk))
+        if not pairs:
+            return self.in_embeddings
+        pairs = np.asarray(pairs, dtype=np.int64)
+
+        for _ in range(epochs):
+            self.rng.shuffle(pairs)
+            negatives = self.rng.choice(
+                self.num_nodes, size=(len(pairs), self.negatives), p=noise
+            )
+            for start in range(0, len(pairs), self.batch_size):
+                chunk = slice(start, start + self.batch_size)
+                self._update_batch(pairs[chunk, 0], pairs[chunk, 1], negatives[chunk])
+        return self.in_embeddings
+
+    def _update_batch(self, centers, contexts, negative_nodes):
+        """Vectorised SGNS update for a batch of (center, context, negatives)."""
+        center_vecs = self.in_embeddings[centers]                     # (B, D)
+        targets = np.concatenate((contexts[:, None], negative_nodes), axis=1)  # (B, 1+K)
+        labels = np.zeros(targets.shape)
+        labels[:, 0] = 1.0
+        target_vecs = self.out_embeddings[targets]                    # (B, 1+K, D)
+        scores = _sigmoid(np.einsum("bkd,bd->bk", target_vecs, center_vecs))
+        errors = labels - scores                                      # (B, 1+K)
+        grad_centers = np.einsum("bk,bkd->bd", errors, target_vecs)
+        grad_targets = errors[:, :, None] * center_vecs[:, None, :]   # (B, 1+K, D)
+        np.add.at(self.out_embeddings, targets.reshape(-1),
+                  self.lr * grad_targets.reshape(-1, self.dim))
+        np.add.at(self.in_embeddings, centers, self.lr * grad_centers)
+
+    # ------------------------------------------------------------------
+    def embeddings(self):
+        """Final node embeddings (input vectors, the usual convention)."""
+        return self.in_embeddings.copy()

@@ -1,0 +1,76 @@
+"""Biased second-order random walks (node2vec, Grover & Leskovec 2016).
+
+WSCCL uses node2vec twice: on the temporal graph (to obtain temporal
+embeddings of departure-time slots) and on the road network (to obtain
+topology-aware node embeddings whose concatenation forms the edge topology
+feature, paper Eq. 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RandomWalker"]
+
+
+class RandomWalker:
+    """Generate node2vec walks over a graph given by an adjacency callable.
+
+    Parameters
+    ----------
+    neighbors_fn:
+        Callable ``node -> sequence of neighbour nodes``.
+    num_nodes:
+        Number of nodes; walks start from every node in turn.
+    p:
+        Return parameter.  Larger p discourages immediately revisiting the
+        previous node.
+    q:
+        In-out parameter.  q > 1 keeps walks local (BFS-like), q < 1 pushes
+        them outward (DFS-like).
+    """
+
+    def __init__(self, neighbors_fn, num_nodes, p=1.0, q=1.0, seed=0):
+        if p <= 0 or q <= 0:
+            raise ValueError("p and q must be positive")
+        self.neighbors_fn = neighbors_fn
+        self.num_nodes = num_nodes
+        self.p = p
+        self.q = q
+        self.rng = np.random.default_rng(seed)
+
+    def walk_from(self, start, length):
+        """One biased walk of at most ``length`` nodes starting at ``start``."""
+        walk = [start]
+        neighbors = list(self.neighbors_fn(start))
+        if not neighbors:
+            return walk
+        walk.append(int(self.rng.choice(neighbors)))
+        while len(walk) < length:
+            current = walk[-1]
+            previous = walk[-2]
+            neighbors = list(self.neighbors_fn(current))
+            if not neighbors:
+                break
+            weights = np.empty(len(neighbors))
+            previous_neighbors = set(self.neighbors_fn(previous))
+            for index, candidate in enumerate(neighbors):
+                if candidate == previous:
+                    weights[index] = 1.0 / self.p
+                elif candidate in previous_neighbors:
+                    weights[index] = 1.0
+                else:
+                    weights[index] = 1.0 / self.q
+            weights /= weights.sum()
+            walk.append(int(self.rng.choice(neighbors, p=weights)))
+        return walk
+
+    def generate_walks(self, walks_per_node, walk_length):
+        """All walks: ``walks_per_node`` starts from each node, shuffled order."""
+        walks = []
+        order = np.arange(self.num_nodes)
+        for _ in range(walks_per_node):
+            self.rng.shuffle(order)
+            for start in order:
+                walks.append(self.walk_from(int(start), walk_length))
+        return walks

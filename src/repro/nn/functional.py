@@ -1,0 +1,117 @@
+"""Functional operations built on :class:`repro.nn.tensor.Tensor`.
+
+These mirror the subset of ``torch.nn.functional`` that the WSCCL model and
+its baselines use: softmax, log-softmax, cosine similarity, common losses and
+a handful of numerically-stable helpers used by the contrastive objectives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cosine_similarity",
+    "mse_loss",
+    "mae_loss",
+    "binary_cross_entropy_with_logits",
+    "cross_entropy",
+    "logsumexp",
+    "dropout",
+    "normalize",
+]
+
+
+def softmax(x, axis=-1):
+    """Numerically stable softmax along ``axis``."""
+    x = x if isinstance(x, Tensor) else Tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x, axis=-1):
+    """Numerically stable log-softmax along ``axis``."""
+    x = x if isinstance(x, Tensor) else Tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def logsumexp(x, axis=-1, keepdims=False):
+    """Stable log-sum-exp used by the contrastive denominators."""
+    x = x if isinstance(x, Tensor) else Tensor(x)
+    maxes = Tensor(x.data.max(axis=axis, keepdims=True))
+    out = (x - maxes).exp().sum(axis=axis, keepdims=True).log() + maxes
+    if not keepdims:
+        out = out.reshape(tuple(s for i, s in enumerate(out.shape) if i != (axis % x.ndim)))
+    return out
+
+
+def normalize(x, axis=-1, eps=1e-12):
+    """L2-normalise ``x`` along ``axis``."""
+    x = x if isinstance(x, Tensor) else Tensor(x)
+    norm = (x * x).sum(axis=axis, keepdims=True) ** 0.5
+    return x / (norm + eps)
+
+
+def cosine_similarity(a, b, axis=-1, eps=1e-12):
+    """Cosine similarity between two tensors along ``axis``.
+
+    This is the ``sim``/``s`` function of the paper's Eq. 10 and Eq. 11.
+    """
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    dot = (a * b).sum(axis=axis)
+    norm_a = ((a * a).sum(axis=axis) + eps) ** 0.5
+    norm_b = ((b * b).sum(axis=axis) + eps) ** 0.5
+    return dot / (norm_a * norm_b)
+
+
+def mse_loss(prediction, target):
+    """Mean squared error."""
+    prediction = prediction if isinstance(prediction, Tensor) else Tensor(prediction)
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def mae_loss(prediction, target):
+    """Mean absolute error implemented with a smooth |x| ~ sqrt(x^2 + eps)."""
+    prediction = prediction if isinstance(prediction, Tensor) else Tensor(prediction)
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    return ((diff * diff + 1e-12) ** 0.5).mean()
+
+
+def binary_cross_entropy_with_logits(logits, targets):
+    """BCE on raw logits, stable for large magnitudes."""
+    logits = logits if isinstance(logits, Tensor) else Tensor(logits)
+    targets = targets if isinstance(targets, Tensor) else Tensor(targets)
+    # log(1 + exp(-|x|)) + max(x, 0) - x*y
+    abs_neg = Tensor(-np.abs(logits.data))
+    log_term = (abs_neg.exp() + 1.0).log()
+    relu_term = logits.relu()
+    return (log_term + relu_term - logits * targets).mean()
+
+
+def cross_entropy(logits, target_indices):
+    """Categorical cross-entropy given integer class targets."""
+    logits = logits if isinstance(logits, Tensor) else Tensor(logits)
+    target_indices = np.asarray(target_indices, dtype=np.int64)
+    log_probs = log_softmax(logits, axis=-1)
+    rows = np.arange(len(target_indices))
+    picked = log_probs[rows, target_indices]
+    return -picked.mean()
+
+
+def dropout(x, rate, training, rng=None):
+    """Inverted dropout.  A no-op when ``training`` is False or ``rate`` == 0."""
+    if not training or rate <= 0.0:
+        return x if isinstance(x, Tensor) else Tensor(x)
+    x = x if isinstance(x, Tensor) else Tensor(x)
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= rate).astype(np.float64) / (1.0 - rate)
+    return x * Tensor(mask)

@@ -1,0 +1,52 @@
+"""Weight initialisation schemes for ``repro.nn`` layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "uniform", "zeros", "orthogonal"]
+
+
+def xavier_uniform(shape, rng, gain=1.0):
+    """Glorot/Xavier uniform initialisation."""
+    fan_in, fan_out = _fans(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape, rng, gain=1.0):
+    """Glorot/Xavier normal initialisation."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(shape, rng, low=-0.1, high=0.1):
+    """Plain uniform initialisation (used for embedding tables)."""
+    return rng.uniform(low, high, size=shape)
+
+
+def zeros(shape):
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape)
+
+
+def orthogonal(shape, rng, gain=1.0):
+    """Orthogonal initialisation, recommended for recurrent weights."""
+    if len(shape) < 2:
+        raise ValueError("orthogonal initialisation needs at least 2 dimensions")
+    rows, cols = shape[0], int(np.prod(shape[1:]))
+    flat = rng.normal(0.0, 1.0, size=(rows, cols))
+    q, r = np.linalg.qr(flat if rows >= cols else flat.T)
+    q = q * np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols].reshape(shape)
+
+
+def _fans(shape):
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = shape[-1]
+    fan_out = shape[-2]
+    return fan_in, fan_out

@@ -1,0 +1,112 @@
+"""Feed-forward layers used across WSCCL and its baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["Linear", "Embedding", "Dropout", "ReLU", "Tanh", "Sigmoid", "LayerNorm"]
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W^T + b``."""
+
+    def __init__(self, in_features, out_features, bias=True, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((out_features, in_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x):
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        out = x @ self.weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors.
+
+    Used for the paper's spatial feature embeddings (road type, number of
+    lanes, one-way flag, traffic signals) in Eq. 3.
+    """
+
+    def __init__(self, num_embeddings, embedding_dim, rng=None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.xavier_normal((num_embeddings, embedding_dim), rng))
+
+    def forward(self, indices):
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.min(initial=0) < 0 or (indices.size and indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}) : "
+                f"min={indices.min()}, max={indices.max()}"
+            )
+        return self.weight[indices]
+
+
+class Dropout(Module):
+    """Inverted dropout layer; identity in eval mode."""
+
+    def __init__(self, rate=0.1, rng=None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng or np.random.default_rng(0)
+
+    def forward(self, x):
+        return F.dropout(x, self.rate, self.training, rng=self._rng)
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x):
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        return x.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def forward(self, x):
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic activation."""
+
+    def forward(self, x):
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        return x.sigmoid()
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, normalized_shape, eps=1e-5):
+        super().__init__()
+        self.eps = eps
+        self.normalized_shape = normalized_shape
+        self.weight = Parameter(np.ones((normalized_shape,)))
+        self.bias = Parameter(np.zeros((normalized_shape,)))
+
+    def forward(self, x):
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normalised = centered / ((var + self.eps) ** 0.5)
+        return normalised * self.weight + self.bias

@@ -1,0 +1,146 @@
+"""Module / Parameter abstractions, mirroring ``torch.nn.Module``.
+
+Modules own parameters and sub-modules, expose ``parameters()`` for
+optimisers, support train/eval mode switching, and can export or load their
+state as plain numpy arrays — which is how the WSCCL curriculum stage clones
+expert models and how pre-trained encoders are transplanted into PathRank.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as trainable by ``Module``."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all neural-network modules."""
+
+    def __init__(self):
+        self._parameters = OrderedDict()
+        self._modules = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Registration via attribute assignment
+    # ------------------------------------------------------------------
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Parameter access
+    # ------------------------------------------------------------------
+    def parameters(self):
+        """Yield every trainable parameter of this module and its children."""
+        for param in self._parameters.values():
+            yield param
+        for module in self._modules.values():
+            yield from module.parameters()
+
+    def named_parameters(self, prefix=""):
+        """Yield ``(name, parameter)`` pairs with dotted paths."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for module_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{module_name}.")
+
+    def num_parameters(self):
+        """Total number of scalar parameters."""
+        return int(sum(p.size for p in self.parameters()))
+
+    def zero_grad(self):
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Train / eval mode
+    # ------------------------------------------------------------------
+    def train(self, mode=True):
+        """Switch this module (and children) between train and eval mode."""
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self):
+        """Shortcut for ``train(False)``."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # State serialisation
+    # ------------------------------------------------------------------
+    def state_dict(self):
+        """Return a name → numpy array copy of every parameter."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state):
+        """Load parameter values from :meth:`state_dict` output.
+
+        Raises ``KeyError`` if a parameter is missing and ``ValueError`` on a
+        shape mismatch, so silent corruption cannot occur.
+        """
+        for name, param in self.named_parameters():
+            if name not in state:
+                raise KeyError(f"missing parameter in state dict: {name}")
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+        return self
+
+    def clone(self):
+        """Deep-copy this module by rebuilding from its own state dict."""
+        import copy
+
+        duplicate = copy.deepcopy(self)
+        return duplicate
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Run sub-modules in order, feeding each output to the next module."""
+
+    def __init__(self, *modules):
+        super().__init__()
+        self._order = []
+        for index, module in enumerate(modules):
+            name = f"layer{index}"
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def forward(self, x):
+        for name in self._order:
+            x = getattr(self, name)(x)
+        return x
+
+    def __iter__(self):
+        return (getattr(self, name) for name in self._order)
+
+    def __len__(self):
+        return len(self._order)

@@ -1,0 +1,138 @@
+"""Edge feature schema for road networks.
+
+The paper's spatial embedding (§IV-B) uses four categorical features per
+edge: road type, number of lanes, one-way flag and traffic signals.  This
+module defines those categories, the container for per-edge features, and the
+conversion from features to categorical indices / one-hot vectors consumed by
+the spatial embedding layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ROAD_TYPES", "MAX_LANES", "EdgeFeatures", "FeatureEncoder"]
+
+
+#: Road type vocabulary, ordered from high-capacity to low-capacity roads.
+ROAD_TYPES = (
+    "motorway",
+    "trunk",
+    "primary",
+    "secondary",
+    "tertiary",
+    "residential",
+    "service",
+)
+
+#: Number of lanes is bucketed into 1..MAX_LANES.
+MAX_LANES = 6
+
+
+@dataclass(frozen=True)
+class EdgeFeatures:
+    """Static attributes of one road segment.
+
+    Attributes
+    ----------
+    road_type:
+        One of :data:`ROAD_TYPES`.
+    lanes:
+        Number of traffic lanes, between 1 and :data:`MAX_LANES`.
+    one_way:
+        Whether the edge may be traversed in one direction only.
+    traffic_signals:
+        Whether the edge ends in (or contains) a signalised intersection.
+    length:
+        Segment length in metres.
+    speed_limit:
+        Free-flow speed in km/h.
+    """
+
+    road_type: str
+    lanes: int
+    one_way: bool
+    traffic_signals: bool
+    length: float
+    speed_limit: float
+
+    def __post_init__(self):
+        if self.road_type not in ROAD_TYPES:
+            raise ValueError(f"unknown road type: {self.road_type!r}")
+        if not 1 <= self.lanes <= MAX_LANES:
+            raise ValueError(f"lanes must be in [1, {MAX_LANES}], got {self.lanes}")
+        if self.length <= 0:
+            raise ValueError("length must be positive")
+        if self.speed_limit <= 0:
+            raise ValueError("speed_limit must be positive")
+
+    @property
+    def free_flow_time(self):
+        """Traversal time in seconds at the speed limit."""
+        return self.length / (self.speed_limit / 3.6)
+
+
+class FeatureEncoder:
+    """Convert :class:`EdgeFeatures` into categorical indices and one-hots.
+
+    The categorical cardinalities correspond to the paper's ``n_rt``, ``n_l``,
+    ``n_o`` and ``n_ts``.
+    """
+
+    def __init__(self):
+        self.road_type_index = {name: i for i, name in enumerate(ROAD_TYPES)}
+
+    @property
+    def num_road_types(self):
+        return len(ROAD_TYPES)
+
+    @property
+    def num_lane_buckets(self):
+        return MAX_LANES
+
+    @property
+    def num_one_way(self):
+        return 2
+
+    @property
+    def num_signals(self):
+        return 2
+
+    def categorical_indices(self, features):
+        """Return (road_type_idx, lanes_idx, one_way_idx, signals_idx)."""
+        return (
+            self.road_type_index[features.road_type],
+            features.lanes - 1,
+            int(features.one_way),
+            int(features.traffic_signals),
+        )
+
+    def one_hot(self, features):
+        """Concatenated one-hot encoding of the four categorical features."""
+        rt, lanes, ow, ts = self.categorical_indices(features)
+        pieces = [
+            _one_hot(rt, self.num_road_types),
+            _one_hot(lanes, self.num_lane_buckets),
+            _one_hot(ow, self.num_one_way),
+            _one_hot(ts, self.num_signals),
+        ]
+        return np.concatenate(pieces)
+
+    def encode_edges(self, edge_features):
+        """Vectorise a sequence of :class:`EdgeFeatures` into an index matrix.
+
+        Returns an integer array of shape ``(num_edges, 4)`` whose columns
+        are road type, lane bucket, one-way flag and traffic-signal flag.
+        """
+        matrix = np.zeros((len(edge_features), 4), dtype=np.int64)
+        for row, features in enumerate(edge_features):
+            matrix[row] = self.categorical_indices(features)
+        return matrix
+
+
+def _one_hot(index, size):
+    vector = np.zeros(size)
+    vector[index] = 1.0
+    return vector

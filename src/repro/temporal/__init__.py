@@ -1,0 +1,34 @@
+"""Temporal substrate: time slots, temporal graph, weak labels."""
+
+from .temporal_graph import TemporalGraph, build_temporal_graph
+from .timeslots import (
+    DAYS_PER_WEEK,
+    SLOT_MINUTES,
+    SLOTS_PER_DAY,
+    TOTAL_SLOTS,
+    DepartureTime,
+)
+from .weak_labels import (
+    POP_AFTERNOON_PEAK,
+    POP_MORNING_PEAK,
+    POP_OFF_PEAK,
+    CongestionIndexLabeler,
+    PeakOffPeakLabeler,
+    WeakLabeler,
+)
+
+__all__ = [
+    "DepartureTime",
+    "SLOT_MINUTES",
+    "SLOTS_PER_DAY",
+    "DAYS_PER_WEEK",
+    "TOTAL_SLOTS",
+    "TemporalGraph",
+    "build_temporal_graph",
+    "WeakLabeler",
+    "PeakOffPeakLabeler",
+    "CongestionIndexLabeler",
+    "POP_MORNING_PEAK",
+    "POP_AFTERNOON_PEAK",
+    "POP_OFF_PEAK",
+]

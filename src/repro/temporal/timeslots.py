@@ -1,0 +1,97 @@
+"""Time-slot arithmetic for departure times.
+
+The paper (§IV-A) splits a day into 288 five-minute slots and considers the
+seven days of a week separately, giving 2016 ``(day, slot)`` nodes in the
+temporal graph.  This module provides the conversions between wall-clock
+departure times and those slot indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "SLOT_MINUTES",
+    "SLOTS_PER_DAY",
+    "DAYS_PER_WEEK",
+    "TOTAL_SLOTS",
+    "DepartureTime",
+]
+
+SLOT_MINUTES = 5
+SLOTS_PER_DAY = 24 * 60 // SLOT_MINUTES  # 288
+DAYS_PER_WEEK = 7
+TOTAL_SLOTS = SLOTS_PER_DAY * DAYS_PER_WEEK  # 2016
+
+
+@dataclass(frozen=True)
+class DepartureTime:
+    """A departure time: day of week plus seconds since midnight.
+
+    ``day_of_week`` follows ISO order with 0 = Monday … 6 = Sunday.
+    """
+
+    day_of_week: int
+    seconds: float
+
+    def __post_init__(self):
+        if not 0 <= self.day_of_week < DAYS_PER_WEEK:
+            raise ValueError(f"day_of_week must be in [0, 7), got {self.day_of_week}")
+        if not 0.0 <= self.seconds < 24 * 3600:
+            raise ValueError(f"seconds must be in [0, 86400), got {self.seconds}")
+
+    # ------------------------------------------------------------------
+    # Slot conversions
+    # ------------------------------------------------------------------
+    @property
+    def slot_of_day(self):
+        """Index of the 5-minute slot within the day (0..287)."""
+        return int(self.seconds // (SLOT_MINUTES * 60))
+
+    @property
+    def slot_index(self):
+        """Global node index in the temporal graph (0..2015)."""
+        return self.day_of_week * SLOTS_PER_DAY + self.slot_of_day
+
+    @property
+    def hour(self):
+        """Hour of day as a float (e.g. 8.5 for 08:30)."""
+        return self.seconds / 3600.0
+
+    @property
+    def is_weekday(self):
+        """Monday..Friday."""
+        return self.day_of_week < 5
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_hour(cls, day_of_week, hour):
+        """Build from a fractional hour of day, e.g. ``from_hour(0, 8.25)``."""
+        return cls(day_of_week=day_of_week, seconds=float(hour) * 3600.0)
+
+    @classmethod
+    def from_slot_index(cls, slot_index):
+        """Inverse of :attr:`slot_index`."""
+        if not 0 <= slot_index < TOTAL_SLOTS:
+            raise ValueError(f"slot_index must be in [0, {TOTAL_SLOTS})")
+        day = slot_index // SLOTS_PER_DAY
+        slot = slot_index % SLOTS_PER_DAY
+        return cls(day_of_week=int(day), seconds=float(slot * SLOT_MINUTES * 60))
+
+    def shift(self, seconds):
+        """Return a new departure time shifted by ``seconds`` (wraps within the week)."""
+        week_seconds = DAYS_PER_WEEK * 86400
+        total = self.day_of_week * 86400 + self.seconds + seconds
+        total %= week_seconds
+        # Guard against float rounding: a tiny negative shift can make the
+        # modulo return exactly one full week.
+        if total >= week_seconds:
+            total -= week_seconds
+        day, remainder = divmod(total, 86400)
+        day = int(day) % DAYS_PER_WEEK
+        if remainder >= 86400.0:
+            remainder = 0.0
+            day = (day + 1) % DAYS_PER_WEEK
+        return DepartureTime(day_of_week=day, seconds=float(remainder))

@@ -1,0 +1,17 @@
+"""Traffic and trajectory substrate: speeds, trips, GPS, map matching."""
+
+from .gps import GPSPoint, GPSSampler, GPSTrajectory
+from .mapmatching import HMMMapMatcher
+from .simulator import Trip, TripSimulator
+from .speeds import CongestionProfile, SpeedModel
+
+__all__ = [
+    "CongestionProfile",
+    "SpeedModel",
+    "Trip",
+    "TripSimulator",
+    "GPSPoint",
+    "GPSTrajectory",
+    "GPSSampler",
+    "HMMMapMatcher",
+]

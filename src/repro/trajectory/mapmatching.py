@@ -1,0 +1,184 @@
+"""HMM map matching (Newson & Krumm, SIGSPATIAL 2009).
+
+The paper's data pipeline map-matches raw GPS trajectories onto the road
+network before extracting paths.  This module implements the standard hidden
+Markov model formulation: candidate edges per GPS point weighted by a
+Gaussian emission on the perpendicular distance, transitions weighted by how
+well the network distance between candidates agrees with the great-circle
+distance between fixes, decoded with Viterbi.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..roadnet.search import shortest_path
+
+__all__ = ["HMMMapMatcher"]
+
+
+class HMMMapMatcher:
+    """Match GPS trajectories onto a road network.
+
+    Parameters
+    ----------
+    network:
+        The :class:`~repro.roadnet.network.RoadNetwork` to match onto.
+    emission_sigma:
+        Standard deviation (metres) of GPS noise for the emission model.
+    transition_beta:
+        Scale (metres) of the exponential transition model.
+    candidate_radius:
+        Only edges whose segment lies within this distance of a fix are
+        considered as candidates.
+    max_candidates:
+        Cap on candidates per point (closest first), bounding Viterbi cost.
+    """
+
+    def __init__(self, network, emission_sigma=15.0, transition_beta=30.0,
+                 candidate_radius=120.0, max_candidates=6):
+        if emission_sigma <= 0 or transition_beta <= 0:
+            raise ValueError("emission_sigma and transition_beta must be positive")
+        self.network = network
+        self.emission_sigma = emission_sigma
+        self.transition_beta = transition_beta
+        self.candidate_radius = candidate_radius
+        self.max_candidates = max_candidates
+        self._segments = self._build_segment_index()
+
+    # ------------------------------------------------------------------
+    def _build_segment_index(self):
+        """Pre-compute segment endpoints for distance queries."""
+        starts = np.zeros((self.network.num_edges, 2))
+        ends = np.zeros((self.network.num_edges, 2))
+        for edge in range(self.network.num_edges):
+            source, target = self.network.edge_endpoints(edge)
+            starts[edge] = self.network.node_coordinates(source)
+            ends[edge] = self.network.node_coordinates(target)
+        return starts, ends
+
+    def _point_to_edges_distance(self, point):
+        """Perpendicular distance from ``point`` to every edge segment."""
+        starts, ends = self._segments
+        point = np.asarray(point, dtype=np.float64)
+        direction = ends - starts
+        length_sq = np.maximum((direction ** 2).sum(axis=1), 1e-9)
+        t = np.clip(((point - starts) * direction).sum(axis=1) / length_sq, 0.0, 1.0)
+        projection = starts + t[:, None] * direction
+        return np.sqrt(((projection - point) ** 2).sum(axis=1))
+
+    def _candidates(self, point):
+        """Closest candidate edges within the search radius."""
+        distances = self._point_to_edges_distance(point)
+        order = np.argsort(distances)
+        selected = [int(e) for e in order[:self.max_candidates]
+                    if distances[e] <= self.candidate_radius]
+        if not selected:
+            # Fall back to the single closest edge so matching never fails.
+            selected = [int(order[0])]
+        return selected, distances
+
+    # ------------------------------------------------------------------
+    def _emission_log_prob(self, distance):
+        sigma = self.emission_sigma
+        return -0.5 * (distance / sigma) ** 2 - np.log(sigma * np.sqrt(2 * np.pi))
+
+    def _transition_log_prob(self, edge_a, edge_b, straight_distance):
+        """Transition likelihood between consecutive candidate edges."""
+        if edge_a == edge_b:
+            network_distance = 0.0
+        else:
+            target_a = self.network.edge_endpoints(edge_a)[1]
+            source_b = self.network.edge_endpoints(edge_b)[0]
+            if target_a == source_b:
+                network_distance = 0.0
+            else:
+                connecting = shortest_path(
+                    self.network, target_a, source_b,
+                    edge_cost=self.network.edge_length,
+                )
+                if connecting is None:
+                    return -np.inf
+                network_distance = sum(self.network.edge_length(e) for e in connecting)
+        difference = abs(network_distance - straight_distance)
+        return -difference / self.transition_beta
+
+    # ------------------------------------------------------------------
+    def match(self, trajectory):
+        """Return the most likely edge path for a :class:`GPSTrajectory`.
+
+        The Viterbi-decoded candidate sequence is stitched into a connected
+        path by inserting shortest-path segments between consecutive matched
+        edges.
+        """
+        positions = trajectory.positions()
+        if len(positions) == 0:
+            return []
+
+        candidate_sets = []
+        emission_scores = []
+        for point in positions:
+            candidates, distances = self._candidates(point)
+            candidate_sets.append(candidates)
+            emission_scores.append(
+                np.array([self._emission_log_prob(distances[c]) for c in candidates])
+            )
+
+        # Viterbi decoding.
+        scores = [emission_scores[0]]
+        back_pointers = [np.zeros(len(candidate_sets[0]), dtype=np.int64)]
+        for step in range(1, len(positions)):
+            straight = float(np.linalg.norm(positions[step] - positions[step - 1]))
+            previous_scores = scores[-1]
+            current_candidates = candidate_sets[step]
+            step_scores = np.full(len(current_candidates), -np.inf)
+            pointers = np.zeros(len(current_candidates), dtype=np.int64)
+            for j, candidate in enumerate(current_candidates):
+                best_value = -np.inf
+                best_index = 0
+                for i, previous in enumerate(candidate_sets[step - 1]):
+                    transition = self._transition_log_prob(previous, candidate, straight)
+                    value = previous_scores[i] + transition
+                    if value > best_value:
+                        best_value = value
+                        best_index = i
+                step_scores[j] = best_value + emission_scores[step][j]
+                pointers[j] = best_index
+            scores.append(step_scores)
+            back_pointers.append(pointers)
+
+        # Backtrack.
+        matched_edges = []
+        index = int(np.argmax(scores[-1]))
+        for step in range(len(positions) - 1, -1, -1):
+            matched_edges.append(candidate_sets[step][index])
+            index = int(back_pointers[step][index])
+        matched_edges.reverse()
+
+        return self._stitch(matched_edges)
+
+    def _stitch(self, matched_edges):
+        """Turn the per-point edge sequence into a connected, de-duplicated path."""
+        path = []
+        for edge in matched_edges:
+            if path and path[-1] == edge:
+                continue
+            if not path:
+                path.append(edge)
+                continue
+            previous_target = self.network.edge_endpoints(path[-1])[1]
+            current_source = self.network.edge_endpoints(edge)[0]
+            if previous_target != current_source:
+                connector = shortest_path(
+                    self.network, previous_target, current_source,
+                    edge_cost=self.network.edge_length,
+                )
+                if connector is None:
+                    # Unreachable: keep the longest consistent prefix.
+                    continue
+                for connecting_edge in connector:
+                    if not path or path[-1] != connecting_edge:
+                        path.append(connecting_edge)
+            if not path or path[-1] != edge:
+                path.append(edge)
+        return path

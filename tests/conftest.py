@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (synthetic cities, shared node2vec resources) are
+session-scoped so the suite stays fast even though many tests need a full
+dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SharedResources, WSCCLConfig
+from repro.datasets import DatasetScale, aalborg, harbin
+from repro.roadnet import CityConfig, generate_city_network
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    """A very small WSCCL configuration for fast tests."""
+    return WSCCLConfig.test_scale()
+
+
+@pytest.fixture(scope="session")
+def tiny_city():
+    """A tiny synthetic Aalborg dataset shared across the suite."""
+    return aalborg(scale=DatasetScale.tiny())
+
+
+@pytest.fixture(scope="session")
+def tiny_city_harbin():
+    """A second tiny city (Harbin layout) for cross-dataset tests."""
+    return harbin(scale=DatasetScale.tiny())
+
+
+@pytest.fixture(scope="session")
+def tiny_network():
+    """A small standalone road network (no trips) for substrate tests."""
+    return generate_city_network(CityConfig(name="test-grid", grid_rows=4, grid_cols=4, seed=7))
+
+
+@pytest.fixture(scope="session")
+def shared_resources(tiny_city, tiny_config):
+    """Frozen node2vec features shared by core-model tests."""
+    return SharedResources(tiny_city.network, tiny_config)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic random generator per test."""
+    return np.random.default_rng(12345)

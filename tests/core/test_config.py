@@ -1,0 +1,59 @@
+"""Tests for WSCCLConfig."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import WSCCLConfig
+
+
+class TestWSCCLConfig:
+    def test_derived_dimensions(self):
+        config = WSCCLConfig(road_type_dim=8, lanes_dim=4, one_way_dim=2,
+                             signals_dim=2, topology_dim=16, temporal_dim=16)
+        assert config.spatial_type_dim == 16
+        assert config.spatial_dim == 32
+        assert config.encoder_input_dim == 48
+
+    def test_lambda_validation(self):
+        with pytest.raises(ValueError):
+            WSCCLConfig(lambda_balance=1.5)
+
+    def test_temperature_validation(self):
+        with pytest.raises(ValueError):
+            WSCCLConfig(temperature=0.0)
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            WSCCLConfig(batch_size=1)
+
+    def test_meta_set_validation(self):
+        with pytest.raises(ValueError):
+            WSCCLConfig(num_meta_sets=0)
+
+    def test_slots_per_day_must_divide_day(self):
+        with pytest.raises(ValueError):
+            WSCCLConfig(slots_per_day=7)
+
+    def test_with_overrides_returns_new_object(self):
+        config = WSCCLConfig()
+        other = config.with_overrides(lambda_balance=0.5)
+        assert other.lambda_balance == 0.5
+        assert config.lambda_balance == 0.8
+        assert other is not config
+
+    def test_paper_scale_matches_paper_settings(self):
+        paper = WSCCLConfig.paper_scale()
+        assert paper.hidden_dim == 128
+        assert paper.temporal_dim == 128
+        assert paper.lstm_layers == 2
+        assert paper.batch_size == 32
+        assert paper.num_meta_sets == 10
+        assert paper.slots_per_day == 288
+        assert paper.lambda_balance == 0.8
+        assert paper.learning_rate == pytest.approx(3e-4)
+
+    def test_test_scale_is_small(self):
+        test = WSCCLConfig.test_scale()
+        assert test.hidden_dim <= 16
+        assert test.num_meta_sets <= 4

@@ -1,0 +1,117 @@
+"""Tests for the temporal path encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TemporalPathEncoder, pad_paths
+from repro.datasets import TemporalPath
+from repro.temporal import DepartureTime
+
+
+@pytest.fixture(scope="module")
+def encoder(tiny_city, tiny_config, shared_resources):
+    return TemporalPathEncoder(
+        tiny_city.network, tiny_config,
+        spatial_embedding=shared_resources.new_spatial_embedding(),
+        temporal_embedding=shared_resources.new_temporal_embedding(),
+    )
+
+
+def paths_from_city(city, count=4):
+    return city.unlabeled.temporal_paths[:count]
+
+
+class TestPadPaths:
+    def test_shapes_and_mask(self, tiny_city):
+        paths = paths_from_city(tiny_city, 3)
+        edge_ids, mask = pad_paths(paths)
+        max_len = max(len(p) for p in paths)
+        assert edge_ids.shape == (3, max_len)
+        assert mask.shape == (3, max_len)
+        for row, path in enumerate(paths):
+            assert mask[row].sum() == len(path)
+            np.testing.assert_array_equal(edge_ids[row, :len(path)], list(path.path))
+
+    def test_padding_repeats_last_edge(self, tiny_city):
+        paths = paths_from_city(tiny_city, 4)
+        edge_ids, mask = pad_paths(paths)
+        shortest = min(range(len(paths)), key=lambda i: len(paths[i]))
+        length = len(paths[shortest])
+        if length < edge_ids.shape[1]:
+            assert edge_ids[shortest, length] == paths[shortest].path[-1]
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            pad_paths([])
+
+
+class TestTemporalPathEncoder:
+    def test_output_shapes(self, encoder, tiny_city, tiny_config):
+        paths = paths_from_city(tiny_city, 4)
+        encoded = encoder(paths)
+        max_len = max(len(p) for p in paths)
+        assert encoded.tprs.shape == (4, tiny_config.hidden_dim)
+        assert encoded.edge_representations.shape == (4, max_len, tiny_config.hidden_dim)
+        assert encoded.mask.shape == (4, max_len)
+
+    def test_encode_returns_numpy_without_grad(self, encoder, tiny_city, tiny_config):
+        paths = paths_from_city(tiny_city, 5)
+        reps = encoder.encode(paths, batch_size=2)
+        assert isinstance(reps, np.ndarray)
+        assert reps.shape == (5, tiny_config.hidden_dim)
+        assert np.isfinite(reps).all()
+
+    def test_encode_empty_list(self, encoder, tiny_config):
+        reps = encoder.encode([])
+        assert reps.shape == (0, tiny_config.hidden_dim)
+
+    def test_tpr_is_mean_of_valid_edge_representations(self, encoder, tiny_city):
+        paths = paths_from_city(tiny_city, 3)
+        encoded = encoder(paths)
+        for row, path in enumerate(paths):
+            valid = encoded.edge_representations.data[row, :len(path)]
+            np.testing.assert_allclose(encoded.tprs.data[row], valid.mean(axis=0), atol=1e-9)
+
+    def test_departure_time_changes_representation(self, encoder, tiny_city):
+        base = tiny_city.unlabeled.temporal_paths[0]
+        peak = TemporalPath(path=base.path, departure_time=DepartureTime.from_hour(1, 8.0))
+        night = TemporalPath(path=base.path, departure_time=DepartureTime.from_hour(1, 3.0))
+        reps = encoder.encode([peak, night])
+        assert not np.allclose(reps[0], reps[1])
+
+    def test_use_temporal_false_ignores_departure_time(self, tiny_city, tiny_config,
+                                                       shared_resources):
+        encoder_nt = TemporalPathEncoder(
+            tiny_city.network, tiny_config,
+            spatial_embedding=shared_resources.new_spatial_embedding(),
+            temporal_embedding=shared_resources.new_temporal_embedding(),
+            use_temporal=False,
+        )
+        base = tiny_city.unlabeled.temporal_paths[0]
+        peak = TemporalPath(path=base.path, departure_time=DepartureTime.from_hour(1, 8.0))
+        night = TemporalPath(path=base.path, departure_time=DepartureTime.from_hour(1, 3.0))
+        reps = encoder_nt.encode([peak, night])
+        np.testing.assert_allclose(reps[0], reps[1])
+
+    def test_different_paths_have_different_representations(self, encoder, tiny_city):
+        paths = paths_from_city(tiny_city, 2)
+        if paths[0].path == paths[1].path:
+            pytest.skip("tiny corpus produced identical paths")
+        reps = encoder.encode(paths)
+        assert not np.allclose(reps[0], reps[1])
+
+    def test_batch_order_invariance(self, encoder, tiny_city):
+        paths = paths_from_city(tiny_city, 3)
+        forward = encoder.encode(paths)
+        backward = encoder.encode(list(reversed(paths)))
+        np.testing.assert_allclose(forward[0], backward[-1], atol=1e-9)
+
+    def test_gradients_flow_through_encoder(self, encoder, tiny_city):
+        paths = paths_from_city(tiny_city, 3)
+        encoded = encoder(paths)
+        encoded.tprs.sum().backward()
+        grads = [p.grad for p in encoder.parameters()]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in grads)
+        encoder.zero_grad()

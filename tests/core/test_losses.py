@@ -1,0 +1,173 @@
+"""Tests for the global and local weakly-supervised contrastive losses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import combined_wsc_loss, global_wsc_loss, local_wsc_loss
+from repro.core.sampling import ContrastSets, EdgeSampleSets
+
+
+def make_contrast_sets(positives, negatives):
+    return ContrastSets(
+        positives=[np.asarray(p, dtype=np.int64) for p in positives],
+        negatives=[np.asarray(n, dtype=np.int64) for n in negatives],
+    )
+
+
+class TestGlobalLoss:
+    def test_lower_when_positives_aligned(self):
+        """Pulling the positive close and pushing negatives away lowers the loss."""
+        aligned = nn.Tensor(np.array([
+            [1.0, 0.0], [0.99, 0.01], [-1.0, 0.0], [0.0, 1.0],
+        ]), requires_grad=True)
+        scrambled = nn.Tensor(np.array([
+            [1.0, 0.0], [-1.0, 0.05], [0.99, 0.0], [0.9, 0.1],
+        ]), requires_grad=True)
+        sets = make_contrast_sets(
+            positives=[[1], [0], [], []],
+            negatives=[[2, 3], [2, 3], [0, 1, 3], [0, 1, 2]],
+        )
+        good = float(global_wsc_loss(aligned, sets).data)
+        bad = float(global_wsc_loss(scrambled, sets).data)
+        assert good < bad
+
+    def test_zero_when_no_positive_pairs(self):
+        tprs = nn.Tensor(np.random.default_rng(0).normal(size=(3, 4)), requires_grad=True)
+        sets = make_contrast_sets(positives=[[], [], []],
+                                  negatives=[[1, 2], [0, 2], [0, 1]])
+        loss = global_wsc_loss(tprs, sets)
+        assert float(loss.data) == 0.0
+        assert not loss.requires_grad
+
+    def test_gradient_flows(self):
+        tprs = nn.Tensor(np.random.default_rng(1).normal(size=(4, 6)), requires_grad=True)
+        sets = make_contrast_sets(
+            positives=[[1], [0], [3], [2]],
+            negatives=[[2, 3], [2, 3], [0, 1], [0, 1]],
+        )
+        loss = global_wsc_loss(tprs, sets)
+        loss.backward()
+        assert tprs.grad is not None
+        assert np.abs(tprs.grad).sum() > 0
+
+    def test_temperature_scales_sharpness(self):
+        tprs = nn.Tensor(np.random.default_rng(2).normal(size=(4, 8)), requires_grad=True)
+        sets = make_contrast_sets(
+            positives=[[1], [0], [3], [2]],
+            negatives=[[2, 3], [2, 3], [0, 1], [0, 1]],
+        )
+        hot = float(global_wsc_loss(tprs, sets, temperature=1.0).data)
+        cold = float(global_wsc_loss(tprs, sets, temperature=0.05).data)
+        assert hot != cold
+
+    def test_optimisation_pulls_positives_together(self):
+        """A few gradient steps on the global loss should raise positive-pair
+        cosine similarity above negative-pair similarity."""
+        rng = np.random.default_rng(3)
+        tprs = nn.Parameter(rng.normal(size=(4, 8)))
+        sets = make_contrast_sets(
+            positives=[[1], [0], [3], [2]],
+            negatives=[[2, 3], [2, 3], [0, 1], [0, 1]],
+        )
+        optimizer = nn.Adam([tprs], lr=0.05)
+        for _ in range(60):
+            optimizer.zero_grad()
+            loss = global_wsc_loss(tprs, sets, temperature=0.2)
+            loss.backward()
+            optimizer.step()
+
+        def cosine(a, b):
+            return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12))
+
+        positive_sim = cosine(tprs.data[0], tprs.data[1])
+        negative_sim = max(cosine(tprs.data[0], tprs.data[2]),
+                           cosine(tprs.data[0], tprs.data[3]))
+        assert positive_sim > negative_sim
+
+
+class TestLocalLoss:
+    def _edge_sets(self, batch, pos, neg):
+        return EdgeSampleSets(
+            positive_rows=[np.asarray(p[0], dtype=np.int64) for p in pos],
+            positive_cols=[np.asarray(p[1], dtype=np.int64) for p in pos],
+            negative_rows=[np.asarray(n[0], dtype=np.int64) for n in neg],
+            negative_cols=[np.asarray(n[1], dtype=np.int64) for n in neg],
+        )
+
+    def test_prefers_similar_positive_edges(self):
+        tprs = nn.Tensor(np.array([[1.0, 0.0]]), requires_grad=True)
+        # Edge representations: position (0,0) aligned with the TPR,
+        # position (0,1) anti-aligned.
+        edges = nn.Tensor(np.array([[[1.0, 0.0], [-1.0, 0.0]]]), requires_grad=True)
+        good = self._edge_sets(1, pos=[([0], [0])], neg=[([0], [1])])
+        bad = self._edge_sets(1, pos=[([0], [1])], neg=[([0], [0])])
+        loss_good = float(local_wsc_loss(tprs, edges, good).data)
+        loss_bad = float(local_wsc_loss(tprs, edges, bad).data)
+        assert loss_good < loss_bad
+
+    def test_zero_when_no_samples(self):
+        tprs = nn.Tensor(np.ones((2, 3)), requires_grad=True)
+        edges = nn.Tensor(np.ones((2, 4, 3)), requires_grad=True)
+        empty = self._edge_sets(2, pos=[([], []), ([], [])], neg=[([], []), ([], [])])
+        loss = local_wsc_loss(tprs, edges, empty)
+        assert float(loss.data) == 0.0
+
+    def test_gradient_flows_to_edge_representations(self):
+        rng = np.random.default_rng(0)
+        tprs = nn.Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        edges = nn.Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        sets = self._edge_sets(
+            2,
+            pos=[([0, 0], [0, 1]), ([1], [0])],
+            neg=[([1], [2]), ([0], [2])],
+        )
+        local_wsc_loss(tprs, edges, sets).backward()
+        assert edges.grad is not None
+        assert np.abs(edges.grad).sum() > 0
+
+
+class TestCombinedLoss:
+    def _setup(self):
+        rng = np.random.default_rng(4)
+        tprs = nn.Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        edges = nn.Tensor(rng.normal(size=(4, 5, 6)), requires_grad=True)
+        contrast = make_contrast_sets(
+            positives=[[1], [0], [3], [2]],
+            negatives=[[2, 3], [2, 3], [0, 1], [0, 1]],
+        )
+        edge_sets = EdgeSampleSets(
+            positive_rows=[np.array([0]), np.array([1]), np.array([2]), np.array([3])],
+            positive_cols=[np.array([0]), np.array([1]), np.array([0]), np.array([2])],
+            negative_rows=[np.array([2]), np.array([3]), np.array([0]), np.array([1])],
+            negative_cols=[np.array([1]), np.array([0]), np.array([3]), np.array([4])],
+        )
+        return tprs, edges, contrast, edge_sets
+
+    def test_lambda_one_equals_global_only(self):
+        tprs, edges, contrast, edge_sets = self._setup()
+        combined = combined_wsc_loss(tprs, edges, contrast, edge_sets, lambda_balance=1.0)
+        global_only = global_wsc_loss(tprs, contrast)
+        assert float(combined.data) == pytest.approx(float(global_only.data))
+
+    def test_lambda_zero_equals_local_only(self):
+        tprs, edges, contrast, edge_sets = self._setup()
+        combined = combined_wsc_loss(tprs, edges, contrast, edge_sets, lambda_balance=0.0)
+        local_only = local_wsc_loss(tprs, edges, edge_sets)
+        assert float(combined.data) == pytest.approx(float(local_only.data))
+
+    def test_intermediate_lambda_is_weighted_sum(self):
+        tprs, edges, contrast, edge_sets = self._setup()
+        lam = 0.8
+        combined = combined_wsc_loss(tprs, edges, contrast, edge_sets, lambda_balance=lam)
+        expected = (lam * float(global_wsc_loss(tprs, contrast).data)
+                    + (1 - lam) * float(local_wsc_loss(tprs, edges, edge_sets).data))
+        assert float(combined.data) == pytest.approx(expected, rel=1e-9)
+
+    def test_combined_loss_is_differentiable(self):
+        tprs, edges, contrast, edge_sets = self._setup()
+        combined_wsc_loss(tprs, edges, contrast, edge_sets, lambda_balance=0.5).backward()
+        assert tprs.grad is not None
+        assert edges.grad is not None

@@ -1,0 +1,112 @@
+"""Tests for positive/negative sample generation (paper §V-A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    augment_with_positive_views,
+    build_contrast_sets,
+    sample_edge_sets,
+)
+from repro.core.encoder import pad_paths
+from repro.datasets import TemporalPath
+from repro.temporal import DepartureTime, PeakOffPeakLabeler
+
+
+def make_batch():
+    labeler = PeakOffPeakLabeler()
+    paths = [
+        TemporalPath(path=[1, 2, 3, 4], departure_time=DepartureTime.from_hour(0, 8.0)),
+        TemporalPath(path=[1, 2, 3, 4], departure_time=DepartureTime.from_hour(0, 8.3)),
+        TemporalPath(path=[1, 2, 3, 4], departure_time=DepartureTime.from_hour(0, 17.0)),
+        TemporalPath(path=[5, 6, 7], departure_time=DepartureTime.from_hour(0, 8.2)),
+        TemporalPath(path=[8, 9], departure_time=DepartureTime.from_hour(5, 12.0)),
+    ]
+    return [(tp, labeler(tp.departure_time)) for tp in paths], labeler
+
+
+class TestAugmentation:
+    def test_doubles_the_batch(self, rng):
+        batch, labeler = make_batch()
+        augmented = augment_with_positive_views(batch, labeler, rng)
+        assert len(augmented) == 2 * len(batch)
+
+    def test_views_preserve_path_and_label(self, rng):
+        batch, labeler = make_batch()
+        augmented = augment_with_positive_views(batch, labeler, rng)
+        originals = augmented[:len(batch)]
+        views = augmented[len(batch):]
+        for (tp, label), (view, view_label) in zip(originals, views):
+            assert view.path == tp.path
+            assert view_label == label
+            assert labeler(view.departure_time) == label
+
+
+class TestContrastSets:
+    def test_paper_example_structure(self):
+        """Mirror of the paper's Fig. 5 minibatch: tp_q with one positive
+        (same path + same label) and three kinds of negatives."""
+        batch, _ = make_batch()
+        sets = build_contrast_sets(batch)
+        # Query 0: positive = 1 (same path, same morning-peak label).
+        assert list(sets.positives[0]) == [1]
+        # Negatives: 2 (same path, different label), 3 (different path, same
+        # label), 4 (different path, different label).
+        assert sorted(sets.negatives[0]) == [2, 3, 4]
+
+    def test_positive_relation_is_symmetric(self):
+        batch, _ = make_batch()
+        sets = build_contrast_sets(batch)
+        assert 0 in sets.positives[1]
+
+    def test_sets_partition_the_batch(self):
+        batch, _ = make_batch()
+        sets = build_contrast_sets(batch)
+        for i in range(len(batch)):
+            combined = set(sets.positives[i]) | set(sets.negatives[i]) | {i}
+            assert combined == set(range(len(batch)))
+            assert not set(sets.positives[i]) & set(sets.negatives[i])
+
+    def test_queries_with_positives(self):
+        batch, _ = make_batch()
+        sets = build_contrast_sets(batch)
+        queries = sets.queries_with_positives()
+        assert 0 in queries and 1 in queries
+        assert 4 not in queries
+
+
+class TestEdgeSampleSets:
+    def test_edges_drawn_from_correct_paths(self, rng):
+        batch, _ = make_batch()
+        sets = build_contrast_sets(batch)
+        _, mask = pad_paths([tp for tp, _ in batch])
+        edge_sets = sample_edge_sets(batch, sets, mask, rng, edges_per_path=2)
+
+        for i in range(len(batch)):
+            allowed_pos_rows = set(sets.positives[i].tolist()) | {i}
+            assert set(edge_sets.positive_rows[i].tolist()) <= allowed_pos_rows
+            allowed_neg_rows = set(sets.negatives[i].tolist())
+            assert set(edge_sets.negative_rows[i].tolist()) <= allowed_neg_rows
+
+    def test_column_indices_are_valid_positions(self, rng):
+        batch, _ = make_batch()
+        sets = build_contrast_sets(batch)
+        paths = [tp for tp, _ in batch]
+        _, mask = pad_paths(paths)
+        edge_sets = sample_edge_sets(batch, sets, mask, rng, edges_per_path=3)
+        lengths = mask.sum(axis=1)
+        for i in range(len(batch)):
+            for row, col in zip(edge_sets.positive_rows[i], edge_sets.positive_cols[i]):
+                assert col < lengths[row]
+            for row, col in zip(edge_sets.negative_rows[i], edge_sets.negative_cols[i]):
+                assert col < lengths[row]
+
+    def test_respects_edges_per_path_limit(self, rng):
+        batch, _ = make_batch()
+        sets = build_contrast_sets(batch)
+        _, mask = pad_paths([tp for tp, _ in batch])
+        edge_sets = sample_edge_sets(batch, sets, mask, rng, edges_per_path=1)
+        # Query 0 has 1 positive path plus itself -> at most 2 positive edges.
+        assert len(edge_sets.positive_rows[0]) <= 2

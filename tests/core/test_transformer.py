@@ -1,0 +1,105 @@
+"""Tests for the Transformer temporal path encoder extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TransformerPathEncoder, WSCModel, WSCTrainer
+from repro.core.transformer import MultiHeadSelfAttention, TransformerBlock
+from repro.datasets import TemporalPath
+from repro.nn import Tensor
+from repro.temporal import DepartureTime
+
+
+@pytest.fixture(scope="module")
+def transformer_encoder(tiny_city, tiny_config, shared_resources):
+    return TransformerPathEncoder(
+        tiny_city.network, tiny_config,
+        spatial_embedding=shared_resources.new_spatial_embedding(),
+        temporal_embedding=shared_resources.new_temporal_embedding(),
+        num_layers=1, num_heads=2,
+    )
+
+
+class TestAttention:
+    def test_output_shape(self, rng):
+        attention = MultiHeadSelfAttention(dim=8, num_heads=2,
+                                           rng=np.random.default_rng(0))
+        x = Tensor(rng.normal(size=(3, 5, 8)))
+        out = attention(x)
+        assert out.shape == (3, 5, 8)
+
+    def test_dim_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(dim=7, num_heads=2)
+
+    def test_mask_blocks_padded_positions(self, rng):
+        """Changing the content of masked positions must not change outputs at
+        valid positions."""
+        attention = MultiHeadSelfAttention(dim=6, num_heads=2,
+                                           rng=np.random.default_rng(1))
+        base = rng.normal(size=(1, 4, 6))
+        altered = base.copy()
+        altered[0, 3] = 99.0
+        mask = np.array([[1.0, 1.0, 1.0, 0.0]])
+        out_base = attention(Tensor(base), mask=mask)
+        out_altered = attention(Tensor(altered), mask=mask)
+        np.testing.assert_allclose(out_base.data[0, :3], out_altered.data[0, :3], atol=1e-9)
+
+    def test_block_gradients_flow(self, rng):
+        block = TransformerBlock(dim=8, num_heads=2, rng=np.random.default_rng(2))
+        x = Tensor(rng.normal(size=(2, 3, 8)), requires_grad=True)
+        block(x).sum().backward()
+        assert all(p.grad is not None for p in block.parameters())
+
+
+class TestTransformerPathEncoder:
+    def test_encoded_batch_shapes(self, transformer_encoder, tiny_city, tiny_config):
+        paths = tiny_city.unlabeled.temporal_paths[:4]
+        encoded = transformer_encoder(paths)
+        max_len = max(len(p) for p in paths)
+        assert encoded.tprs.shape == (4, tiny_config.hidden_dim)
+        assert encoded.edge_representations.shape == (4, max_len, tiny_config.hidden_dim)
+
+    def test_encode_matrix(self, transformer_encoder, tiny_city, tiny_config):
+        reps = transformer_encoder.encode(tiny_city.unlabeled.temporal_paths[:5],
+                                          batch_size=2)
+        assert reps.shape == (5, tiny_config.hidden_dim)
+        assert np.isfinite(reps).all()
+
+    def test_departure_time_changes_representation(self, transformer_encoder, tiny_city):
+        base = tiny_city.unlabeled.temporal_paths[0]
+        peak = TemporalPath(base.path, DepartureTime.from_hour(1, 8.0))
+        night = TemporalPath(base.path, DepartureTime.from_hour(1, 3.0))
+        reps = transformer_encoder.encode([peak, night])
+        assert not np.allclose(reps[0], reps[1])
+
+    def test_rejects_overlong_paths(self, tiny_city, tiny_config, shared_resources):
+        encoder = TransformerPathEncoder(
+            tiny_city.network, tiny_config,
+            spatial_embedding=shared_resources.new_spatial_embedding(),
+            temporal_embedding=shared_resources.new_temporal_embedding(),
+            max_path_length=3,
+        )
+        too_long = TemporalPath(
+            path=list(tiny_city.unlabeled.temporal_paths[0].path) * 5,
+            departure_time=DepartureTime.from_hour(0, 8.0))
+        with pytest.raises(ValueError):
+            encoder([too_long])
+
+
+class TestTransformerInWSCModel:
+    def test_wsc_model_with_transformer_trains(self, tiny_city, tiny_config,
+                                               shared_resources):
+        model = WSCModel(tiny_city.network, config=tiny_config,
+                         resources=shared_resources, encoder_type="transformer")
+        trainer = WSCTrainer(model)
+        batch = list(tiny_city.unlabeled)[:4]
+        loss = trainer.train_step(batch, tiny_city.unlabeled.weak_labeler)
+        assert np.isfinite(loss)
+
+    def test_unknown_encoder_type_rejected(self, tiny_city, tiny_config, shared_resources):
+        with pytest.raises(ValueError):
+            WSCModel(tiny_city.network, config=tiny_config,
+                     resources=shared_resources, encoder_type="rnn")

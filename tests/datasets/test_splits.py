@@ -1,0 +1,57 @@
+"""Tests for train/test splitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import grouped_train_test_split, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        train, test = train_test_split(list(range(100)), test_fraction=0.2, seed=0)
+        assert len(test) == 20
+        assert len(train) == 80
+
+    def test_disjoint_and_complete(self):
+        items = list(range(50))
+        train, test = train_test_split(items, test_fraction=0.3, seed=1)
+        assert set(train) | set(test) == set(items)
+        assert not set(train) & set(test)
+
+    def test_deterministic_given_seed(self):
+        a = train_test_split(list(range(30)), seed=5)
+        b = train_test_split(list(range(30)), seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = train_test_split(list(range(100)), seed=1)[1]
+        b = train_test_split(list(range(100)), seed=2)[1]
+        assert a != b
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split([1, 2, 3], test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split([1, 2, 3], test_fraction=1.0)
+
+
+class TestGroupedSplit:
+    def test_groups_do_not_straddle(self):
+        items = list(range(40))
+        groups = [i // 4 for i in items]
+        train, test = grouped_train_test_split(items, groups, test_fraction=0.25, seed=0)
+        train_groups = {i // 4 for i in train}
+        test_groups = {i // 4 for i in test}
+        assert not train_groups & test_groups
+
+    def test_all_items_preserved(self):
+        items = list(range(30))
+        groups = [i % 6 for i in items]
+        train, test = grouped_train_test_split(items, groups, seed=3)
+        assert sorted(train + test) == items
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_train_test_split([1, 2, 3], [0, 1])

@@ -1,0 +1,53 @@
+"""Tests for the labelled task dataset builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_task_datasets
+from repro.datasets.tasks import ranking_arrays, recommendation_arrays, travel_time_arrays
+
+
+class TestBuildTaskDatasets:
+    @pytest.fixture(scope="class")
+    def tasks(self, tiny_city):
+        return tiny_city.tasks
+
+    def test_travel_time_examples_positive(self, tasks):
+        assert tasks.travel_time
+        for example in tasks.travel_time:
+            assert example.travel_time > 0
+            assert len(example.temporal_path) >= 1
+
+    def test_ranking_scores_in_unit_interval(self, tasks):
+        for example in tasks.ranking:
+            assert 0.0 <= example.score <= 1.0
+
+    def test_each_group_has_a_top_ranked_path(self, tasks):
+        groups = {}
+        for example in tasks.ranking:
+            groups.setdefault(example.group, []).append(example.score)
+        for scores in groups.values():
+            assert max(scores) == pytest.approx(1.0)
+
+    def test_recommendation_labels_binary_with_one_positive_per_group(self, tasks):
+        groups = {}
+        for example in tasks.recommendation:
+            assert example.chosen in (0, 1)
+            groups.setdefault(example.group, []).append(example.chosen)
+        for labels in groups.values():
+            assert sum(labels) == 1
+
+    def test_max_labeled_caps_groups(self, tiny_city):
+        capped = build_task_datasets(tiny_city.network, tiny_city.trips, max_labeled=5)
+        assert len(capped.travel_time) == 5
+        assert max(e.group for e in capped.ranking) <= 4
+
+    def test_array_helpers(self, tasks):
+        paths, targets = travel_time_arrays(tasks.travel_time)
+        assert len(paths) == len(targets)
+        paths, scores, groups = ranking_arrays(tasks.ranking)
+        assert len(paths) == len(scores) == len(groups)
+        paths, labels, groups = recommendation_arrays(tasks.recommendation)
+        assert set(np.unique(labels)) <= {0, 1}

@@ -1,0 +1,100 @@
+"""Tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.downstream import (
+    accuracy,
+    grouped_rank_correlation,
+    hit_rate,
+    kendall_tau,
+    mae,
+    mape,
+    mare,
+    spearman_rho,
+)
+
+
+class TestRegressionMetrics:
+    def test_mae(self):
+        assert mae([1.0, 2.0, 3.0], [2.0, 2.0, 5.0]) == pytest.approx(1.0)
+
+    def test_mae_zero_for_perfect_predictions(self):
+        assert mae([5.0, 10.0], [5.0, 10.0]) == 0.0
+
+    def test_mare(self):
+        # sum|err| = 3, sum|truth| = 6 -> 0.5
+        assert mare([1.0, 2.0, 3.0], [2.0, 3.0, 4.0]) == pytest.approx(0.5)
+
+    def test_mare_rejects_all_zero_truth(self):
+        with pytest.raises(ValueError):
+            mare([0.0, 0.0], [1.0, 1.0])
+
+    def test_mape_in_percent(self):
+        assert mape([100.0, 200.0], [110.0, 180.0]) == pytest.approx(10.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mae([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mae([], [])
+
+
+class TestRankCorrelations:
+    def test_kendall_perfect_agreement(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_kendall_perfect_disagreement(self):
+        assert kendall_tau([1, 2, 3, 4], [4, 3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_kendall_matches_scipy(self, rng):
+        truth = rng.normal(size=15)
+        prediction = truth + rng.normal(scale=0.5, size=15)
+        expected = stats.kendalltau(truth, prediction).correlation
+        assert kendall_tau(truth, prediction) == pytest.approx(expected, abs=0.02)
+
+    def test_spearman_perfect_agreement(self):
+        assert spearman_rho([1, 2, 3], [5, 6, 7]) == pytest.approx(1.0)
+
+    def test_spearman_matches_scipy(self, rng):
+        truth = rng.normal(size=20)
+        prediction = truth + rng.normal(scale=0.3, size=20)
+        expected = stats.spearmanr(truth, prediction).correlation
+        assert spearman_rho(truth, prediction) == pytest.approx(expected, abs=0.02)
+
+    def test_short_inputs_return_zero(self):
+        assert kendall_tau([1.0], [1.0]) == 0.0
+        assert spearman_rho([1.0], [1.0]) == 0.0
+
+    def test_grouped_rank_correlation_averages_groups(self):
+        truth = [1, 2, 3, 3, 2, 1]
+        prediction = [1, 2, 3, 1, 2, 3]   # group 0 perfect, group 1 reversed
+        groups = [0, 0, 0, 1, 1, 1]
+        value = grouped_rank_correlation(truth, prediction, groups, "kendall")
+        assert value == pytest.approx(0.0)
+
+    def test_grouped_skips_singleton_groups(self):
+        value = grouped_rank_correlation([1, 2, 3], [1, 2, 3], [0, 0, 1], "spearman")
+        assert value == pytest.approx(1.0)
+
+
+class TestClassificationMetrics:
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1, 0], [1, 0, 0, 0]) == pytest.approx(0.75)
+
+    def test_hit_rate_is_positive_recall(self):
+        truth = [1, 1, 0, 0, 1]
+        prediction = [1, 0, 0, 1, 1]
+        assert hit_rate(truth, prediction) == pytest.approx(2 / 3)
+
+    def test_hit_rate_no_positives(self):
+        assert hit_rate([0, 0], [1, 0]) == 0.0
+
+    def test_accuracy_rejects_empty(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])

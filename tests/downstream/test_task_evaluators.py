@@ -1,0 +1,105 @@
+"""Tests for the downstream task evaluators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.downstream import (
+    evaluate_all_tasks,
+    evaluate_ranking,
+    evaluate_recommendation,
+    evaluate_travel_time,
+)
+
+
+class LengthModel:
+    """A deterministic stand-in representation model: encodes path length,
+    departure hour and total edge count — enough signal for the GBR to learn
+    travel time reasonably well on the synthetic data."""
+
+    def __init__(self, network):
+        self.network = network
+
+    def encode(self, temporal_paths):
+        rows = []
+        for tp in temporal_paths:
+            length = self.network.path_length(list(tp.path))
+            rows.append([
+                length,
+                len(tp),
+                tp.departure_time.hour,
+                float(tp.departure_time.is_weekday),
+            ])
+        return np.asarray(rows)
+
+
+class RandomModel:
+    """Pure-noise representations (no information about the path)."""
+
+    def __init__(self, dim=4, seed=0):
+        self.dim = dim
+        self.rng = np.random.default_rng(seed)
+
+    def encode(self, temporal_paths):
+        return self.rng.normal(size=(len(temporal_paths), self.dim))
+
+
+class TestEvaluateTravelTime:
+    def test_returns_finite_metrics(self, tiny_city):
+        model = LengthModel(tiny_city.network)
+        result = evaluate_travel_time(model, tiny_city.tasks.travel_time, n_estimators=20)
+        assert np.isfinite(result.mae)
+        assert np.isfinite(result.mare)
+        assert np.isfinite(result.mape)
+        assert result.mae > 0
+
+    def test_informative_model_beats_noise(self, tiny_city):
+        informative = evaluate_travel_time(
+            LengthModel(tiny_city.network), tiny_city.tasks.travel_time, n_estimators=30)
+        noise = evaluate_travel_time(
+            RandomModel(), tiny_city.tasks.travel_time, n_estimators=30)
+        assert informative.mae < noise.mae
+
+    def test_as_row(self, tiny_city):
+        result = evaluate_travel_time(
+            LengthModel(tiny_city.network), tiny_city.tasks.travel_time, n_estimators=5)
+        row = result.as_row()
+        assert set(row) == {"MAE", "MARE", "MAPE"}
+
+
+class TestEvaluateRanking:
+    def test_returns_metrics_in_valid_ranges(self, tiny_city):
+        result = evaluate_ranking(
+            LengthModel(tiny_city.network), tiny_city.tasks.ranking, n_estimators=20)
+        assert result.mae >= 0
+        assert -1.0 <= result.kendall_tau <= 1.0
+        assert -1.0 <= result.spearman_rho <= 1.0
+
+    def test_as_row_keys(self, tiny_city):
+        result = evaluate_ranking(
+            LengthModel(tiny_city.network), tiny_city.tasks.ranking, n_estimators=5)
+        assert set(result.as_row()) == {"MAE", "tau", "rho"}
+
+
+class TestEvaluateRecommendation:
+    def test_metrics_within_bounds(self, tiny_city):
+        result = evaluate_recommendation(
+            LengthModel(tiny_city.network), tiny_city.tasks.recommendation, n_estimators=20)
+        assert 0.0 <= result.accuracy <= 1.0
+        assert 0.0 <= result.hit_rate <= 1.0
+
+
+class TestEvaluateAllTasks:
+    def test_bundles_all_three(self, tiny_city):
+        results = evaluate_all_tasks(
+            LengthModel(tiny_city.network), tiny_city.tasks, n_estimators=10)
+        assert set(results) == {"travel_time", "ranking", "recommendation"}
+
+    def test_malformed_model_rejected(self, tiny_city):
+        class Broken:
+            def encode(self, paths):
+                return np.zeros((1, 2))   # wrong row count
+
+        with pytest.raises(ValueError):
+            evaluate_travel_time(Broken(), tiny_city.tasks.travel_time, n_estimators=5)

@@ -1,0 +1,52 @@
+"""Tests for the result formatting helpers."""
+
+from __future__ import annotations
+
+from repro.evaluation import format_fig7_series, format_metric_table, format_nested_results
+
+
+class TestFormatMetricTable:
+    def test_contains_methods_and_metrics(self):
+        rows = {"WSCCL": {"MAE": 1.234, "tau": 0.5}, "PIM": {"MAE": 2.0, "tau": 0.3}}
+        text = format_metric_table(rows, title="demo")
+        assert "demo" in text
+        assert "WSCCL" in text and "PIM" in text
+        assert "MAE" in text and "tau" in text
+        assert "1.234" in text
+
+    def test_empty_rows(self):
+        assert format_metric_table({}) == "(no rows)"
+
+    def test_handles_missing_metrics(self):
+        rows = {"A": {"MAE": 1.0}, "B": {"tau": 0.5}}
+        text = format_metric_table(rows)
+        assert "A" in text and "B" in text
+
+
+class TestFormatNestedResults:
+    def test_flattens_tasks(self):
+        results = {"aalborg": {"WSCCL": {"travel_time": {"MAE": 3.0},
+                                         "ranking": {"tau": 0.7}}}}
+        text = format_nested_results(results, title="Table III")
+        assert "Table III" in text
+        assert "travel_time.MAE" in text
+        assert "ranking.tau" in text
+
+    def test_scalar_task_values_supported(self):
+        results = {"harbin": {"WSCCL": {"Acc": 0.9}}}
+        text = format_nested_results(results)
+        assert "Acc" in text
+
+
+class TestFormatFig7:
+    def test_contains_modes_and_fractions(self):
+        results = {"aalborg": {
+            "scratch": {0.5: {"travel_time": {"MAE": 5.0},
+                              "ranking": {"MAE": 0.2, "tau": 0.4}}},
+            "pretrained": {0.5: {"travel_time": {"MAE": 4.0},
+                                 "ranking": {"MAE": 0.15, "tau": 0.5}}},
+        }}
+        text = format_fig7_series(results)
+        assert "scratch@50%" in text
+        assert "pretrained@50%" in text
+        assert "tt.MAE" in text

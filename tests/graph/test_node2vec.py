@@ -1,0 +1,71 @@
+"""Tests for the Node2Vec front-end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Node2Vec, Node2VecConfig
+from repro.temporal import build_temporal_graph
+
+
+class TestNode2VecConfig:
+    def test_defaults(self):
+        config = Node2VecConfig()
+        assert config.dim == 128
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Node2VecConfig(dim=0)
+        with pytest.raises(ValueError):
+            Node2VecConfig(walk_length=1)
+
+
+class TestNode2Vec:
+    def test_fit_generic_graph(self):
+        config = Node2VecConfig(dim=6, walks_per_node=2, walk_length=6, epochs=1, seed=0)
+        node2vec = Node2Vec(config)
+        embeddings = node2vec.fit(lambda n: [(n + 1) % 8, (n - 1) % 8], num_nodes=8)
+        assert embeddings.shape == (8, 6)
+        assert np.isfinite(embeddings).all()
+
+    def test_embeddings_property_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            _ = Node2Vec().embeddings
+
+    def test_fit_temporal_graph(self):
+        graph = build_temporal_graph(slots_per_day=12, days=7)
+        config = Node2VecConfig(dim=4, walks_per_node=1, walk_length=5, epochs=1, seed=0)
+        embeddings = Node2Vec(config).fit_temporal_graph(graph)
+        assert embeddings.shape == (84, 4)
+
+    def test_fit_road_network_and_edge_embeddings(self, tiny_network):
+        config = Node2VecConfig(dim=4, walks_per_node=1, walk_length=5, epochs=1, seed=0)
+        node2vec = Node2Vec(config)
+        node_embeddings = node2vec.fit_road_network(tiny_network)
+        assert node_embeddings.shape == (tiny_network.num_nodes, 4)
+
+        edge_embeddings = node2vec.edge_topology_embeddings(tiny_network)
+        assert edge_embeddings.shape == (tiny_network.num_edges, 8)
+        # The edge embedding is the concatenation of its endpoints' embeddings.
+        source, target = tiny_network.edge_endpoints(0)
+        np.testing.assert_allclose(edge_embeddings[0, :4], node_embeddings[source])
+        np.testing.assert_allclose(edge_embeddings[0, 4:], node_embeddings[target])
+
+    def test_adjacent_temporal_slots_more_similar_than_distant(self):
+        """Node2vec on the temporal graph should place neighbouring slots closer
+        than slots half a day apart (the property the paper relies on)."""
+        graph = build_temporal_graph(slots_per_day=48, days=7)
+        config = Node2VecConfig(dim=16, walks_per_node=4, walk_length=12,
+                                window=3, epochs=2, seed=0)
+        embeddings = Node2Vec(config).fit_temporal_graph(graph)
+
+        def cosine(a, b):
+            return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12))
+
+        # Average over several anchors for robustness.
+        near, far = [], []
+        for anchor in (10, 20, 30, 100, 200):
+            near.append(cosine(embeddings[anchor], embeddings[anchor + 1]))
+            far.append(cosine(embeddings[anchor], embeddings[(anchor + 24) % len(embeddings)]))
+        assert np.mean(near) > np.mean(far)

@@ -1,0 +1,65 @@
+"""Tests for the skip-gram (SGNS) trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import SkipGramTrainer
+
+
+class TestSkipGramTrainer:
+    def test_embedding_shapes(self):
+        trainer = SkipGramTrainer(num_nodes=10, dim=4)
+        assert trainer.in_embeddings.shape == (10, 4)
+        assert trainer.out_embeddings.shape == (10, 4)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            SkipGramTrainer(num_nodes=5, dim=0)
+
+    def test_pairs_from_walk_window(self):
+        trainer = SkipGramTrainer(num_nodes=10, dim=2, window=1)
+        pairs = trainer._pairs_from_walk([0, 1, 2])
+        assert (0, 1) in pairs
+        assert (1, 0) in pairs
+        assert (1, 2) in pairs
+        assert (0, 2) not in pairs
+
+    def test_training_on_empty_corpus_is_safe(self):
+        trainer = SkipGramTrainer(num_nodes=5, dim=3)
+        embeddings = trainer.train([], epochs=1)
+        assert embeddings.shape == (5, 3)
+
+    def test_training_changes_embeddings(self):
+        trainer = SkipGramTrainer(num_nodes=6, dim=4, seed=0)
+        before = trainer.in_embeddings.copy()
+        walks = [[0, 1, 2, 3, 4, 5]] * 10
+        trainer.train(walks, epochs=2)
+        assert not np.allclose(before, trainer.in_embeddings)
+
+    def test_cooccurring_nodes_become_similar(self):
+        """Two communities that never co-occur should separate in embedding space."""
+        community_a = [0, 1, 2]
+        community_b = [3, 4, 5]
+        rng = np.random.default_rng(0)
+        walks = []
+        for _ in range(60):
+            walks.append(list(rng.permutation(community_a)) * 3)
+            walks.append(list(rng.permutation(community_b)) * 3)
+        trainer = SkipGramTrainer(num_nodes=6, dim=8, window=2, negatives=4,
+                                  lr=0.05, seed=1)
+        embeddings = trainer.train(walks, epochs=3)
+
+        def cosine(a, b):
+            return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12))
+
+        within = cosine(embeddings[0], embeddings[1])
+        across = cosine(embeddings[0], embeddings[4])
+        assert within > across
+
+    def test_embeddings_accessor_returns_copy(self):
+        trainer = SkipGramTrainer(num_nodes=4, dim=2)
+        copy = trainer.embeddings()
+        copy[:] = 99.0
+        assert not np.allclose(trainer.in_embeddings, 99.0)

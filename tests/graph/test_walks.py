@@ -1,0 +1,68 @@
+"""Tests for biased random walks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import RandomWalker
+
+
+def ring_neighbors(size):
+    def neighbors(node):
+        return [(node - 1) % size, (node + 1) % size]
+    return neighbors
+
+
+class TestRandomWalker:
+    def test_walk_length_and_start(self):
+        walker = RandomWalker(ring_neighbors(10), num_nodes=10, seed=0)
+        walk = walker.walk_from(3, length=8)
+        assert walk[0] == 3
+        assert len(walk) == 8
+
+    def test_walk_steps_follow_edges(self):
+        walker = RandomWalker(ring_neighbors(12), num_nodes=12, seed=1)
+        walk = walker.walk_from(0, length=20)
+        for a, b in zip(walk, walk[1:]):
+            assert b in ring_neighbors(12)(a)
+
+    def test_isolated_node_walk_stops(self):
+        walker = RandomWalker(lambda n: [], num_nodes=3, seed=0)
+        assert walker.walk_from(1, length=5) == [1]
+
+    def test_dead_end_terminates_walk(self):
+        # 0 -> 1, 1 has no neighbours.
+        adjacency = {0: [1], 1: []}
+        walker = RandomWalker(lambda n: adjacency[n], num_nodes=2, seed=0)
+        walk = walker.walk_from(0, length=10)
+        assert walk == [0, 1]
+
+    def test_generate_walks_count(self):
+        walker = RandomWalker(ring_neighbors(6), num_nodes=6, seed=0)
+        walks = walker.generate_walks(walks_per_node=3, walk_length=5)
+        assert len(walks) == 18
+
+    def test_high_p_discourages_backtracking(self):
+        """With p very large and q=1, immediate backtracking should be rare."""
+        size = 30
+        backtracks = {"low_p": 0, "high_p": 0}
+        for label, p in (("low_p", 0.05), ("high_p", 50.0)):
+            walker = RandomWalker(ring_neighbors(size), num_nodes=size, p=p, q=1.0, seed=3)
+            for start in range(size):
+                walk = walker.walk_from(start, length=30)
+                for i in range(2, len(walk)):
+                    if walk[i] == walk[i - 2]:
+                        backtracks[label] += 1
+        assert backtracks["high_p"] < backtracks["low_p"]
+
+    def test_invalid_p_q(self):
+        with pytest.raises(ValueError):
+            RandomWalker(ring_neighbors(4), 4, p=0.0)
+        with pytest.raises(ValueError):
+            RandomWalker(ring_neighbors(4), 4, q=-1.0)
+
+    def test_deterministic_given_seed(self):
+        a = RandomWalker(ring_neighbors(8), 8, seed=7).generate_walks(1, 6)
+        b = RandomWalker(ring_neighbors(8), 8, seed=7).generate_walks(1, 6)
+        assert a == b

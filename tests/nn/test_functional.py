@@ -1,0 +1,136 @@
+"""Tests for repro.nn.functional."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = Tensor(rng.normal(size=(4, 7)))
+        out = F.softmax(x, axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4), atol=1e-12)
+
+    def test_invariant_to_constant_shift(self, rng):
+        x = rng.normal(size=(3, 5))
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_handles_large_values(self):
+        out = F.softmax(Tensor([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(out.data, [[0.5, 0.5]])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.normal(size=(2, 6)))
+        np.testing.assert_allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-10)
+
+
+class TestLogSumExp:
+    def test_matches_scipy_definition(self, rng):
+        x = rng.normal(size=(5,))
+        expected = np.log(np.exp(x).sum())
+        assert float(F.logsumexp(Tensor(x)).data) == pytest.approx(expected)
+
+    def test_stable_for_large_inputs(self):
+        value = float(F.logsumexp(Tensor([1000.0, 1000.0])).data)
+        assert value == pytest.approx(1000.0 + np.log(2.0))
+
+    def test_gradient_is_softmax(self):
+        x = Tensor(np.array([0.5, 1.5, -0.3]), requires_grad=True)
+        F.logsumexp(x).backward()
+        np.testing.assert_allclose(x.grad, F.softmax(Tensor(x.data)).data, atol=1e-10)
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        v = Tensor([[1.0, 2.0, 3.0]])
+        assert float(F.cosine_similarity(v, v).data[0]) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        a = Tensor([[1.0, 0.0]])
+        b = Tensor([[0.0, 1.0]])
+        assert float(F.cosine_similarity(a, b).data[0]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_opposite_vectors(self):
+        a = Tensor([[1.0, 1.0]])
+        b = Tensor([[-1.0, -1.0]])
+        assert float(F.cosine_similarity(a, b).data[0]) == pytest.approx(-1.0)
+
+    def test_scale_invariance(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(3, 4))
+        s1 = F.cosine_similarity(Tensor(a), Tensor(b)).data
+        s2 = F.cosine_similarity(Tensor(a * 10.0), Tensor(b * 0.01)).data
+        np.testing.assert_allclose(s1, s2, atol=1e-9)
+
+    def test_normalize_produces_unit_vectors(self, rng):
+        x = Tensor(rng.normal(size=(6, 5)))
+        norms = np.linalg.norm(F.normalize(x).data, axis=-1)
+        np.testing.assert_allclose(norms, np.ones(6), atol=1e-9)
+
+
+class TestLosses:
+    def test_mse_zero_for_equal_inputs(self):
+        x = Tensor([1.0, 2.0, 3.0])
+        assert float(F.mse_loss(x, Tensor(x.data.copy())).data) == pytest.approx(0.0)
+
+    def test_mse_value(self):
+        loss = F.mse_loss(Tensor([2.0, 2.0]), Tensor([0.0, 0.0]))
+        assert float(loss.data) == pytest.approx(4.0)
+
+    def test_mae_value(self):
+        loss = F.mae_loss(Tensor([3.0, -1.0]), Tensor([0.0, 0.0]))
+        assert float(loss.data) == pytest.approx(2.0, rel=1e-5)
+
+    def test_bce_with_logits_matches_manual(self):
+        logits = np.array([0.3, -1.2, 2.0])
+        targets = np.array([1.0, 0.0, 1.0])
+        probs = 1.0 / (1.0 + np.exp(-logits))
+        expected = -np.mean(targets * np.log(probs) + (1 - targets) * np.log(1 - probs))
+        loss = F.binary_cross_entropy_with_logits(Tensor(logits), Tensor(targets))
+        assert float(loss.data) == pytest.approx(expected, rel=1e-6)
+
+    def test_bce_stable_for_extreme_logits(self):
+        loss = F.binary_cross_entropy_with_logits(
+            Tensor([1000.0, -1000.0]), Tensor([1.0, 0.0]))
+        assert np.isfinite(float(loss.data))
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_prefers_correct_class(self):
+        good = F.cross_entropy(Tensor([[10.0, 0.0], [0.0, 10.0]]), [0, 1])
+        bad = F.cross_entropy(Tensor([[10.0, 0.0], [0.0, 10.0]]), [1, 0])
+        assert float(good.data) < float(bad.data)
+
+    def test_losses_are_differentiable(self):
+        prediction = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        F.mse_loss(prediction, Tensor([0.0, 0.0])).backward()
+        assert prediction.grad is not None
+        np.testing.assert_allclose(prediction.grad, [1.0, 2.0])
+
+
+class TestDropout:
+    def test_identity_when_not_training(self, rng):
+        x = Tensor(rng.normal(size=(10, 10)))
+        out = F.dropout(x, rate=0.5, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_identity_when_rate_zero(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)))
+        out = F.dropout(x, rate=0.0, training=True)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_preserves_expectation(self, rng):
+        x = Tensor(np.ones((2000,)))
+        out = F.dropout(x, rate=0.3, training=True, rng=rng)
+        assert float(out.data.mean()) == pytest.approx(1.0, abs=0.1)
+
+    def test_zeroes_some_entries(self, rng):
+        x = Tensor(np.ones((1000,)))
+        out = F.dropout(x, rate=0.5, training=True, rng=rng)
+        assert (out.data == 0.0).sum() > 300

@@ -1,0 +1,110 @@
+"""Tests for Module / Parameter / Sequential."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TwoLayer(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.first = nn.Linear(4, 8, rng=np.random.default_rng(0))
+        self.second = nn.Linear(8, 2, rng=np.random.default_rng(1))
+
+    def forward(self, x):
+        return self.second(self.first(x).relu())
+
+
+class TestParameterRegistration:
+    def test_parameters_are_collected_recursively(self):
+        model = TwoLayer()
+        params = list(model.parameters())
+        # 2 weights + 2 biases
+        assert len(params) == 4
+
+    def test_named_parameters_have_dotted_paths(self):
+        model = TwoLayer()
+        names = dict(model.named_parameters()).keys()
+        assert "first.weight" in names
+        assert "second.bias" in names
+
+    def test_num_parameters(self):
+        model = nn.Linear(3, 5, rng=np.random.default_rng(0))
+        assert model.num_parameters() == 3 * 5 + 5
+
+    def test_zero_grad_clears_all(self):
+        model = TwoLayer()
+        out = model(nn.Tensor(np.ones((2, 4)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestTrainEval:
+    def test_train_flag_propagates(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5), nn.Linear(2, 1))
+        model.eval()
+        assert all(not layer.training for layer in model)
+        model.train()
+        assert all(layer.training for layer in model)
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        model_a = TwoLayer()
+        model_b = TwoLayer()
+        # Make them differ first.
+        for p in model_b.parameters():
+            p.data = p.data + 1.0
+        model_b.load_state_dict(model_a.state_dict())
+        for (name_a, pa), (name_b, pb) in zip(
+            model_a.named_parameters(), model_b.named_parameters()
+        ):
+            assert name_a == name_b
+            np.testing.assert_allclose(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["first.weight"][:] = 0.0
+        assert not np.allclose(next(model.parameters()).data, 0.0)
+
+    def test_missing_key_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        del state["first.weight"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["first.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_clone_is_independent(self):
+        model = TwoLayer()
+        duplicate = model.clone()
+        for p in duplicate.parameters():
+            p.data = p.data + 5.0
+        original = next(model.parameters()).data
+        cloned = next(duplicate.parameters()).data
+        assert not np.allclose(original, cloned)
+
+
+class TestSequential:
+    def test_applies_layers_in_order(self):
+        model = nn.Sequential(nn.Linear(3, 4, rng=np.random.default_rng(0)), nn.ReLU())
+        out = model(nn.Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 4)
+        assert (out.data >= 0).all()
+
+    def test_len_and_iter(self):
+        model = nn.Sequential(nn.ReLU(), nn.Tanh(), nn.Sigmoid())
+        assert len(model) == 3
+        assert len(list(model)) == 3

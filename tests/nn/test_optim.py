@@ -1,0 +1,115 @@
+"""Tests for SGD / Adam optimisers and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def quadratic_loss(parameter):
+    """Simple convex objective ||p - 3||^2."""
+    diff = parameter - 3.0
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_single_step_matches_formula(self):
+        p = nn.Parameter(np.array([1.0]))
+        optimizer = nn.SGD([p], lr=0.1)
+        quadratic_loss(p).backward()
+        optimizer.step()
+        # grad = 2*(1-3) = -4 -> p = 1 - 0.1*(-4) = 1.4
+        np.testing.assert_allclose(p.data, [1.4])
+
+    def test_converges_on_quadratic(self):
+        p = nn.Parameter(np.array([10.0, -5.0]))
+        optimizer = nn.SGD([p], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            quadratic_loss(p).backward()
+            optimizer.step()
+        np.testing.assert_allclose(p.data, [3.0, 3.0], atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain = nn.Parameter(np.array([10.0]))
+        momentum = nn.Parameter(np.array([10.0]))
+        opt_plain = nn.SGD([plain], lr=0.01)
+        opt_momentum = nn.SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for p, optimizer in ((plain, opt_plain), (momentum, opt_momentum)):
+                optimizer.zero_grad()
+                quadratic_loss(p).backward()
+                optimizer.step()
+        assert abs(momentum.data[0] - 3.0) < abs(plain.data[0] - 3.0)
+
+    def test_weight_decay_shrinks_parameters(self):
+        p = nn.Parameter(np.array([1.0]))
+        optimizer = nn.SGD([p], lr=0.1, weight_decay=0.5)
+        # Zero-gradient step: only weight decay acts.
+        p.grad = np.array([0.0])
+        optimizer.step()
+        assert p.data[0] < 1.0
+
+    def test_rejects_empty_parameter_list(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_rejects_non_positive_lr(self):
+        with pytest.raises(ValueError):
+            nn.SGD([nn.Parameter(np.zeros(1))], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = nn.Parameter(np.array([10.0, -8.0]))
+        optimizer = nn.Adam([p], lr=0.1)
+        for _ in range(500):
+            optimizer.zero_grad()
+            quadratic_loss(p).backward()
+            optimizer.step()
+        np.testing.assert_allclose(p.data, [3.0, 3.0], atol=1e-2)
+
+    def test_skips_parameters_without_grad(self):
+        p = nn.Parameter(np.array([1.0]))
+        q = nn.Parameter(np.array([2.0]))
+        optimizer = nn.Adam([p, q], lr=0.1)
+        p.grad = np.array([1.0])
+        optimizer.step()
+        np.testing.assert_allclose(q.data, [2.0])
+        assert p.data[0] != 1.0
+
+    def test_trains_a_linear_model(self, rng):
+        """Adam should fit a small least-squares problem."""
+        true_weights = np.array([2.0, -1.0, 0.5])
+        x = rng.normal(size=(64, 3))
+        y = x @ true_weights
+        layer = nn.Linear(3, 1, rng=np.random.default_rng(0))
+        optimizer = nn.Adam(layer.parameters(), lr=0.05)
+        for _ in range(300):
+            optimizer.zero_grad()
+            prediction = layer(nn.Tensor(x)).reshape(-1)
+            loss = nn.functional.mse_loss(prediction, nn.Tensor(y))
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(layer.weight.data.reshape(-1), true_weights, atol=0.05)
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        p = nn.Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        norm_before = nn.clip_grad_norm([p], max_norm=1.0)
+        assert norm_before == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients_untouched(self):
+        p = nn.Parameter(np.zeros(2))
+        p.grad = np.array([0.1, 0.1])
+        nn.clip_grad_norm([p], max_norm=5.0)
+        np.testing.assert_allclose(p.grad, [0.1, 0.1])
+
+    def test_handles_missing_gradients(self):
+        p = nn.Parameter(np.zeros(2))
+        assert nn.clip_grad_norm([p], max_norm=1.0) == 0.0

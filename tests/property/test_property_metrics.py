@@ -1,0 +1,90 @@
+"""Property-based tests for the downstream metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.downstream import accuracy, hit_rate, kendall_tau, mae, mape, mare, spearman_rho
+
+
+vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=2, max_value=30),
+    elements=st.floats(min_value=-1e3, max_value=1e3,
+                       allow_nan=False, allow_infinity=False),
+)
+
+positive_vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=2, max_value=30),
+    elements=st.floats(min_value=1.0, max_value=1e3,
+                       allow_nan=False, allow_infinity=False),
+)
+
+
+@given(vectors)
+@settings(max_examples=60, deadline=None)
+def test_mae_zero_iff_identical(values):
+    assert mae(values, values.copy()) == 0.0
+
+
+@given(positive_vectors, st.floats(min_value=-50, max_value=50, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_mae_nonnegative_and_symmetric(values, shift):
+    prediction = values + shift
+    assert mae(values, prediction) >= 0.0
+    assert np.isclose(mae(values, prediction), mae(prediction, values))
+
+
+@given(positive_vectors)
+@settings(max_examples=60, deadline=None)
+def test_mare_and_mape_zero_for_perfect_predictions(values):
+    assert mare(values, values.copy()) == 0.0
+    assert mape(values, values.copy()) == 0.0
+
+
+@given(vectors)
+@settings(max_examples=60, deadline=None)
+def test_rank_correlations_bounded(values):
+    noisy = values + np.random.default_rng(0).normal(size=len(values))
+    for metric in (kendall_tau, spearman_rho):
+        value = metric(values, noisy)
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+@given(vectors)
+@settings(max_examples=60, deadline=None)
+def test_rank_correlation_of_identity_is_maximal(values):
+    # Strictly increasing transformation preserves ranks exactly.  Ties cap
+    # Kendall's tau-a below 1, so only tie-free vectors are checked.
+    transformed = values * 3.0 + 7.0
+    # Skip inputs where ties exist before or after the transformation (adding
+    # 7.0 can absorb sub-epsilon differences).
+    if len(np.unique(values)) < len(values) or len(np.unique(transformed)) < len(values):
+        return
+    assert kendall_tau(values, transformed) == 1.0
+    assert np.isclose(spearman_rho(values, transformed), 1.0)
+
+
+@given(vectors)
+@settings(max_examples=60, deadline=None)
+def test_negating_predictions_flips_kendall_sign(values):
+    if len(np.unique(values)) < 2:
+        return
+    forward = kendall_tau(values, values)
+    backward = kendall_tau(values, -values)
+    assert np.isclose(forward, -backward)
+
+
+@given(hnp.arrays(dtype=np.int64, shape=st.integers(2, 40),
+                  elements=st.integers(min_value=0, max_value=1)))
+@settings(max_examples=60, deadline=None)
+def test_accuracy_and_hit_rate_bounds(labels):
+    rng = np.random.default_rng(1)
+    predictions = rng.integers(0, 2, size=len(labels))
+    assert 0.0 <= accuracy(labels, predictions) <= 1.0
+    assert 0.0 <= hit_rate(labels, predictions) <= 1.0
+    assert accuracy(labels, labels.copy()) == 1.0

@@ -1,0 +1,133 @@
+"""Tests for shortest path / k-shortest paths / path similarity."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.roadnet import (
+    CityConfig,
+    EdgeFeatures,
+    RoadNetwork,
+    generate_city_network,
+    k_shortest_paths,
+    path_similarity,
+    shortest_path,
+)
+
+
+def features(length):
+    return EdgeFeatures(road_type="residential", lanes=1, one_way=False,
+                        traffic_signals=False, length=length, speed_limit=36.0)
+
+
+@pytest.fixture()
+def diamond_network():
+    """Two routes from 0 to 3: a short one via 1 and a long one via 2."""
+    network = RoadNetwork()
+    for i in range(4):
+        network.add_node(float(i), 0.0)
+    network.add_edge(0, 1, features(100.0))   # 0
+    network.add_edge(1, 3, features(100.0))   # 1
+    network.add_edge(0, 2, features(300.0))   # 2
+    network.add_edge(2, 3, features(300.0))   # 3
+    return network
+
+
+class TestShortestPath:
+    def test_prefers_cheaper_route(self, diamond_network):
+        path = shortest_path(diamond_network, 0, 3)
+        assert path == [0, 1]
+
+    def test_same_source_and_target(self, diamond_network):
+        assert shortest_path(diamond_network, 2, 2) == []
+
+    def test_unreachable_returns_none(self, diamond_network):
+        # Node 3 has no outgoing edges, so 3 -> 0 is unreachable.
+        assert shortest_path(diamond_network, 3, 0) is None
+
+    def test_banned_edges_force_detour(self, diamond_network):
+        path = shortest_path(diamond_network, 0, 3, banned_edges={0})
+        assert path == [2, 3]
+
+    def test_custom_cost_function(self, diamond_network):
+        # Make the short route expensive.
+        costs = {0: 1000.0, 1: 1000.0, 2: 1.0, 3: 1.0}
+        path = shortest_path(diamond_network, 0, 3, edge_cost=lambda e: costs[e])
+        assert path == [2, 3]
+
+    def test_negative_cost_rejected(self, diamond_network):
+        with pytest.raises(ValueError):
+            shortest_path(diamond_network, 0, 3, edge_cost=lambda e: -1.0)
+
+    def test_matches_networkx_on_generated_city(self):
+        network = generate_city_network(
+            CityConfig(name="sp", grid_rows=5, grid_cols=5, seed=2))
+        graph = network.to_networkx()
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            source, target = rng.integers(0, network.num_nodes, size=2)
+            ours = shortest_path(network, int(source), int(target),
+                                 edge_cost=network.edge_length)
+            try:
+                reference = nx.shortest_path_length(
+                    graph, int(source), int(target), weight="length")
+            except nx.NetworkXNoPath:
+                assert ours is None
+                continue
+            assert ours is not None
+            our_length = sum(network.edge_length(e) for e in ours)
+            assert our_length == pytest.approx(reference, rel=1e-9)
+
+
+class TestKShortestPaths:
+    def test_returns_distinct_ordered_paths(self, diamond_network):
+        paths = k_shortest_paths(diamond_network, 0, 3, k=2)
+        assert len(paths) == 2
+        assert paths[0] == [0, 1]
+        assert paths[1] == [2, 3]
+
+    def test_all_paths_are_connected(self):
+        network = generate_city_network(
+            CityConfig(name="ksp", grid_rows=5, grid_cols=5, seed=4))
+        paths = k_shortest_paths(network, 0, network.num_nodes // 2, k=4)
+        assert paths
+        for path in paths:
+            assert network.is_connected_path(path)
+
+    def test_costs_are_nondecreasing(self):
+        network = generate_city_network(
+            CityConfig(name="ksp2", grid_rows=5, grid_cols=5, seed=8))
+        paths = k_shortest_paths(network, 0, network.num_nodes - 5, k=4,
+                                 edge_cost=network.edge_length)
+        costs = [sum(network.edge_length(e) for e in p) for p in paths]
+        assert costs == sorted(costs)
+
+    def test_invalid_k(self, diamond_network):
+        with pytest.raises(ValueError):
+            k_shortest_paths(diamond_network, 0, 3, k=0)
+
+    def test_unreachable_gives_empty_list(self, diamond_network):
+        assert k_shortest_paths(diamond_network, 3, 0, k=3) == []
+
+
+class TestPathSimilarity:
+    def test_identical_paths(self, diamond_network):
+        assert path_similarity(diamond_network, [0, 1], [0, 1]) == pytest.approx(1.0)
+
+    def test_disjoint_paths(self, diamond_network):
+        assert path_similarity(diamond_network, [0, 1], [2, 3]) == pytest.approx(0.0)
+
+    def test_partial_overlap_weighted_by_length(self, diamond_network):
+        # Shared edge 0 (100m); union = edges 0,1,2 = 500m.
+        value = path_similarity(diamond_network, [0, 1], [0, 2])
+        assert value == pytest.approx(100.0 / 500.0)
+
+    def test_symmetry(self, diamond_network):
+        a = path_similarity(diamond_network, [0, 1], [0, 2])
+        b = path_similarity(diamond_network, [0, 2], [0, 1])
+        assert a == pytest.approx(b)
+
+    def test_empty_path_gives_zero(self, diamond_network):
+        assert path_similarity(diamond_network, [], [0, 1]) == 0.0

@@ -1,0 +1,86 @@
+"""Tests for departure-time slot arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.temporal import (
+    DAYS_PER_WEEK,
+    SLOTS_PER_DAY,
+    TOTAL_SLOTS,
+    DepartureTime,
+)
+
+
+class TestConstants:
+    def test_paper_constants(self):
+        assert SLOTS_PER_DAY == 288
+        assert DAYS_PER_WEEK == 7
+        assert TOTAL_SLOTS == 2016
+
+
+class TestDepartureTime:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DepartureTime(day_of_week=7, seconds=0.0)
+        with pytest.raises(ValueError):
+            DepartureTime(day_of_week=0, seconds=86400.0)
+        with pytest.raises(ValueError):
+            DepartureTime(day_of_week=-1, seconds=0.0)
+
+    def test_paper_example_slot(self):
+        # The paper's example: 00:06 on Monday is the second slot of the day.
+        t = DepartureTime(day_of_week=0, seconds=6 * 60)
+        assert t.slot_of_day == 1
+        assert t.slot_index == 1
+
+    def test_slot_index_for_other_days(self):
+        t = DepartureTime.from_hour(2, 0.0)  # Wednesday midnight
+        assert t.slot_index == 2 * SLOTS_PER_DAY
+
+    def test_from_hour(self):
+        t = DepartureTime.from_hour(4, 8.5)
+        assert t.hour == pytest.approx(8.5)
+        assert t.day_of_week == 4
+
+    def test_from_slot_index_round_trip(self):
+        for index in (0, 1, 287, 288, 2015):
+            t = DepartureTime.from_slot_index(index)
+            assert t.slot_index == index
+
+    def test_from_slot_index_bounds(self):
+        with pytest.raises(ValueError):
+            DepartureTime.from_slot_index(TOTAL_SLOTS)
+        with pytest.raises(ValueError):
+            DepartureTime.from_slot_index(-1)
+
+    def test_weekday_flag(self):
+        assert DepartureTime.from_hour(0, 10).is_weekday
+        assert DepartureTime.from_hour(4, 10).is_weekday
+        assert not DepartureTime.from_hour(5, 10).is_weekday
+        assert not DepartureTime.from_hour(6, 10).is_weekday
+
+    def test_shift_within_day(self):
+        t = DepartureTime.from_hour(1, 8.0).shift(3600)
+        assert t.day_of_week == 1
+        assert t.hour == pytest.approx(9.0)
+
+    def test_shift_across_midnight(self):
+        t = DepartureTime.from_hour(1, 23.5).shift(3600)
+        assert t.day_of_week == 2
+        assert t.hour == pytest.approx(0.5)
+
+    def test_shift_wraps_week(self):
+        t = DepartureTime.from_hour(6, 23.5).shift(3600)
+        assert t.day_of_week == 0
+        assert t.hour == pytest.approx(0.5)
+
+    def test_shift_negative(self):
+        t = DepartureTime.from_hour(0, 0.5).shift(-3600)
+        assert t.day_of_week == 6
+        assert t.hour == pytest.approx(23.5)
+
+    def test_immutability(self):
+        t = DepartureTime.from_hour(0, 8.0)
+        with pytest.raises(AttributeError):
+            t.seconds = 0.0

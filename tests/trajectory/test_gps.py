@@ -1,0 +1,81 @@
+"""Tests for GPS trajectory synthesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.temporal import DepartureTime
+from repro.trajectory import GPSSampler, SpeedModel
+
+
+def build_path(network, hops=4):
+    path = []
+    node = 0
+    for _ in range(hops):
+        edges = network.out_edges(node)
+        if not edges:
+            break
+        path.append(edges[0])
+        node = network.edge_endpoints(edges[0])[1]
+    return path
+
+
+class TestGPSSampler:
+    @pytest.fixture(scope="class")
+    def sampler(self, tiny_network):
+        speed_model = SpeedModel(tiny_network, seed=0)
+        return GPSSampler(tiny_network, speed_model, sample_interval=10.0,
+                          noise_std=5.0, seed=0)
+
+    def test_trajectory_has_points_and_truth(self, sampler, tiny_network):
+        path = build_path(tiny_network)
+        trajectory = sampler.sample(path, DepartureTime.from_hour(0, 9.0))
+        assert len(trajectory) >= 2
+        assert trajectory.true_path == path
+
+    def test_timestamps_monotonic(self, sampler, tiny_network):
+        path = build_path(tiny_network)
+        trajectory = sampler.sample(path, DepartureTime.from_hour(0, 10.0))
+        timestamps = [p.timestamp for p in trajectory]
+        assert all(b >= a for a, b in zip(timestamps, timestamps[1:]))
+
+    def test_duration_close_to_travel_time(self, tiny_network):
+        speed_model = SpeedModel(tiny_network, seed=0, noise_std=0.0)
+        sampler = GPSSampler(tiny_network, speed_model, sample_interval=5.0,
+                             noise_std=0.0, seed=0)
+        path = build_path(tiny_network)
+        departure = DepartureTime.from_hour(0, 7.0)
+        trajectory = sampler.sample(path, departure)
+        expected = speed_model.path_travel_time(path, departure)
+        assert trajectory.duration == pytest.approx(expected, rel=0.05)
+
+    def test_points_near_path_geometry(self, tiny_network):
+        speed_model = SpeedModel(tiny_network, seed=0, noise_std=0.0)
+        sampler = GPSSampler(tiny_network, speed_model, sample_interval=5.0,
+                             noise_std=0.0, seed=0)
+        path = build_path(tiny_network)
+        trajectory = sampler.sample(path, DepartureTime.from_hour(0, 7.0))
+        positions = trajectory.positions()
+        # Without noise, every point must lie within the bounding box of the
+        # path's node coordinates (straight-line edges).
+        nodes = tiny_network.path_nodes(path)
+        coords = np.array([tiny_network.node_coordinates(n) for n in nodes])
+        margin = 1.0
+        assert (positions[:, 0] >= coords[:, 0].min() - margin).all()
+        assert (positions[:, 0] <= coords[:, 0].max() + margin).all()
+
+    def test_sampling_rate_controls_point_count(self, tiny_network):
+        speed_model = SpeedModel(tiny_network, seed=0)
+        dense = GPSSampler(tiny_network, speed_model, sample_interval=2.0, seed=0)
+        sparse = GPSSampler(tiny_network, speed_model, sample_interval=30.0, seed=0)
+        path = build_path(tiny_network)
+        departure = DepartureTime.from_hour(0, 9.0)
+        assert len(dense.sample(path, departure)) > len(sparse.sample(path, departure))
+
+    def test_invalid_parameters(self, tiny_network):
+        speed_model = SpeedModel(tiny_network)
+        with pytest.raises(ValueError):
+            GPSSampler(tiny_network, speed_model, sample_interval=0.0)
+        with pytest.raises(ValueError):
+            GPSSampler(tiny_network, speed_model, noise_std=-1.0)

@@ -1,0 +1,73 @@
+"""Tests for the HMM map matcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.temporal import DepartureTime
+from repro.trajectory import GPSSampler, HMMMapMatcher, SpeedModel
+
+
+def build_path(network, start_node=0, hops=5):
+    path = []
+    node = start_node
+    for _ in range(hops):
+        edges = network.out_edges(node)
+        if not edges:
+            break
+        path.append(edges[0])
+        node = network.edge_endpoints(edges[0])[1]
+    return path
+
+
+class TestHMMMapMatcher:
+    @pytest.fixture(scope="class")
+    def matcher(self, tiny_network):
+        return HMMMapMatcher(tiny_network, emission_sigma=10.0, candidate_radius=150.0)
+
+    def test_parameter_validation(self, tiny_network):
+        with pytest.raises(ValueError):
+            HMMMapMatcher(tiny_network, emission_sigma=0.0)
+        with pytest.raises(ValueError):
+            HMMMapMatcher(tiny_network, transition_beta=-1.0)
+
+    def test_empty_trajectory(self, matcher, tiny_network):
+        speed_model = SpeedModel(tiny_network, seed=0)
+        sampler = GPSSampler(tiny_network, speed_model, seed=0)
+        trajectory = sampler.sample(build_path(tiny_network, hops=2),
+                                    DepartureTime.from_hour(0, 8.0))
+        trajectory.points = []
+        assert matcher.match(trajectory) == []
+
+    def test_matched_path_is_connected(self, matcher, tiny_network):
+        speed_model = SpeedModel(tiny_network, seed=0)
+        sampler = GPSSampler(tiny_network, speed_model, sample_interval=8.0,
+                             noise_std=5.0, seed=1)
+        trajectory = sampler.sample(build_path(tiny_network, hops=5),
+                                    DepartureTime.from_hour(0, 9.0))
+        matched = matcher.match(trajectory)
+        assert matched
+        assert tiny_network.is_connected_path(matched)
+
+    def test_low_noise_recovers_most_of_true_path(self, tiny_network):
+        """With small GPS noise the matcher should recover most true edges."""
+        speed_model = SpeedModel(tiny_network, seed=0, noise_std=0.0)
+        sampler = GPSSampler(tiny_network, speed_model, sample_interval=5.0,
+                             noise_std=3.0, seed=2)
+        matcher = HMMMapMatcher(tiny_network, emission_sigma=10.0,
+                                candidate_radius=120.0)
+        true_path = build_path(tiny_network, hops=6)
+        trajectory = sampler.sample(true_path, DepartureTime.from_hour(0, 10.0))
+        matched = matcher.match(trajectory)
+        overlap = len(set(true_path) & set(matched)) / len(set(true_path))
+        assert overlap >= 0.5
+
+    def test_point_to_edge_distances_nonnegative(self, matcher, tiny_network):
+        distances = matcher._point_to_edges_distance((10.0, 20.0))
+        assert distances.shape == (tiny_network.num_edges,)
+        assert (distances >= 0).all()
+
+    def test_candidates_always_nonempty(self, matcher):
+        candidates, _ = matcher._candidates((1e6, 1e6))
+        assert len(candidates) >= 1
