@@ -9,7 +9,7 @@ from .curriculum import (
     split_into_meta_sets,
     train_experts,
 )
-from .encoder import EncodedBatch, TemporalPathEncoder, pad_paths
+from .encoder import PAD_EDGE_ID, EncodedBatch, TemporalPathEncoder, pad_paths
 from .losses import combined_wsc_loss, global_wsc_loss, local_wsc_loss
 from .model import SharedResources, WSCModel
 from .sampling import (
@@ -34,6 +34,7 @@ __all__ = [
     "TemporalPathEncoder",
     "EncodedBatch",
     "pad_paths",
+    "PAD_EDGE_ID",
     "augment_with_positive_views",
     "build_contrast_sets",
     "sample_edge_sets",

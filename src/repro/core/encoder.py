@@ -10,39 +10,50 @@ The encoder turns a batch of temporal paths into
 
 from __future__ import annotations
 
+from itertools import chain
+
 import numpy as np
 
 from .. import nn
 from .spatial import SpatialEmbedding
 from .temporal_embedding import TemporalEmbedding
 
-__all__ = ["TemporalPathEncoder", "EncodedBatch", "pad_paths"]
+__all__ = ["TemporalPathEncoder", "EncodedBatch", "pad_paths", "PAD_EDGE_ID"]
+
+#: Reserved edge id marking padding positions.  It is never a valid edge
+#: index; :class:`~repro.core.spatial.SpatialEmbedding` maps it to an exactly
+#: zero feature vector so padded steps cannot leak activations or gradients.
+PAD_EDGE_ID = -1
 
 
-def pad_paths(temporal_paths):
+def pad_paths(temporal_paths, pad_value=PAD_EDGE_ID):
     """Pad a list of temporal paths into dense arrays.
 
     Returns
     -------
     edge_ids:
-        ``(batch, max_len)`` int array; padding repeats the last real edge
-        (masked out downstream, but must be a valid id for embedding lookup).
+        ``(batch, max_len)`` int array; padding positions hold the reserved
+        :data:`PAD_EDGE_ID` sentinel (embedded as zeros and masked
+        downstream).
     mask:
         ``(batch, max_len)`` float array with 1.0 on real steps.
     """
     if not temporal_paths:
         raise ValueError("cannot pad an empty batch")
-    lengths = [len(tp) for tp in temporal_paths]
-    max_len = max(lengths)
+    if pad_value != int(pad_value) or int(pad_value) >= 0:
+        # Non-negative (or truncating-to-0) pads would alias a real edge id
+        # and be embedded as it.
+        raise ValueError(f"pad_value must be a negative integer, got {pad_value}")
     batch = len(temporal_paths)
-    edge_ids = np.zeros((batch, max_len), dtype=np.int64)
-    mask = np.zeros((batch, max_len), dtype=np.float64)
-    for row, tp in enumerate(temporal_paths):
-        path = list(tp.path)
-        edge_ids[row, :len(path)] = path
-        edge_ids[row, len(path):] = path[-1]
-        mask[row, :len(path)] = 1.0
-    return edge_ids, mask
+    lengths = np.fromiter((len(tp) for tp in temporal_paths),
+                          dtype=np.int64, count=batch)
+    max_len = int(lengths.max())
+    valid = np.arange(max_len)[None, :] < lengths[:, None]
+    edge_ids = np.full((batch, max_len), int(pad_value), dtype=np.int64)
+    edge_ids[valid] = np.fromiter(
+        chain.from_iterable(tp.path for tp in temporal_paths),
+        dtype=np.int64, count=int(lengths.sum()))
+    return edge_ids, valid.astype(np.float64)
 
 
 class EncodedBatch:

@@ -121,6 +121,10 @@ class WSCModel(nn.Module):
         """Numpy TPR matrix for a list of temporal paths (no gradients)."""
         return self.encoder.encode(temporal_paths, batch_size=batch_size)
 
+    def embed(self, temporal_paths, batch_size=64):
+        """Alias of :meth:`encode`, matching the serving layer's vocabulary."""
+        return self.encode(temporal_paths, batch_size=batch_size)
+
     def represent(self, temporal_path):
         """Convenience: the TPR of a single temporal path as a 1-D array."""
         return self.encode([temporal_path])[0]

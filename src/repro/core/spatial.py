@@ -107,14 +107,19 @@ class SpatialEmbedding(nn.Module):
         ----------
         edge_id_batch:
             Integer array of shape ``(batch, max_len)``.  Padding positions
-            may contain any valid edge id (they are masked downstream).
+            hold the reserved :data:`~repro.core.encoder.PAD_EDGE_ID`
+            sentinel (any negative id); they embed to exactly zero vectors,
+            so padded steps contribute neither activations nor gradients.
 
         Returns
         -------
         Tensor of shape ``(batch, max_len, spatial_dim)``.
         """
         edge_ids = np.asarray(edge_id_batch, dtype=np.int64)
-        categories = self._edge_categories[edge_ids]          # (B, T, 4)
+        padded = edge_ids < 0
+        has_padding = bool(padded.any())
+        safe_ids = np.where(padded, 0, edge_ids) if has_padding else edge_ids
+        categories = self._edge_categories[safe_ids]          # (B, T, 4)
 
         road_type = self.road_type_embedding(categories[..., 0])
         lanes = self.lanes_embedding(categories[..., 1])
@@ -124,5 +129,11 @@ class SpatialEmbedding(nn.Module):
             [road_type, lanes, one_way, signals], axis=-1
         )                                                      # Eq. 4
 
-        topology = nn.Tensor(self._topology_features[edge_ids])  # Eq. 5, frozen
+        topology_features = self._topology_features[safe_ids]
+        if has_padding:
+            keep = (~padded).astype(np.float64)[..., None]
+            topology_features = topology_features * keep
+            type_embedding = type_embedding * nn.Tensor(keep)
+
+        topology = nn.Tensor(topology_features)                # Eq. 5, frozen
         return nn.Tensor.concatenate([topology, type_embedding], axis=-1)  # Eq. 6

@@ -76,11 +76,22 @@ class TemporalEmbedding(nn.Module):
         slot = min(slot, self.slots_per_day - 1)
         return departure_time.day_of_week * self.slots_per_day + slot
 
+    def slot_indices(self, departure_times):
+        """Vectorised :meth:`slot_index` for a batch of departure times."""
+        count = len(departure_times)
+        seconds = np.fromiter((t.seconds for t in departure_times),
+                              dtype=np.float64, count=count)
+        days = np.fromiter((t.day_of_week for t in departure_times),
+                           dtype=np.int64, count=count)
+        seconds_per_slot = 86400.0 / self.slots_per_day
+        slots = np.minimum((seconds // seconds_per_slot).astype(np.int64),
+                           self.slots_per_day - 1)
+        return days * self.slots_per_day + slots
+
     def forward(self, departure_times):
         """Temporal embedding ``t_all`` for a batch of departure times.
 
         Returns a constant (non-trainable) Tensor of shape
         ``(batch, temporal_dim)``.
         """
-        indices = np.array([self.slot_index(t) for t in departure_times], dtype=np.int64)
-        return nn.Tensor(self._embeddings[indices])
+        return nn.Tensor(self._embeddings[self.slot_indices(departure_times)])

@@ -5,6 +5,14 @@ Each evaluator takes a *representation model* — any object exposing
 task examples, fits the appropriate gradient boosting model on the training
 split of the frozen representations, and reports the paper's metrics on the
 test split.
+
+Embeddings are obtained through the batched
+:class:`~repro.serving.PathEmbeddingService` (length-bucketed micro-batching
+plus an LRU cache shared between the train and test encodes — and, via
+:func:`evaluate_all_tasks`, across the three tasks).  The service is
+numerically faithful to direct encoding, so results are unchanged; pass
+``serving=False`` to bypass it, or pass a ready-made service as ``model`` to
+control its configuration.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..datasets.splits import grouped_train_test_split, train_test_split
+from ..serving import PathEmbeddingService
 from .gbm import GradientBoostingClassifier, GradientBoostingRegressor
 from .metrics import accuracy, grouped_rank_correlation, hit_rate, mae, mape, mare
 
@@ -21,6 +30,7 @@ __all__ = [
     "TravelTimeResult",
     "RankingResult",
     "RecommendationResult",
+    "ensure_service",
     "evaluate_travel_time",
     "evaluate_ranking",
     "evaluate_recommendation",
@@ -63,6 +73,18 @@ class RecommendationResult:
         return {"Acc": self.accuracy, "HR": self.hit_rate}
 
 
+def ensure_service(model, serving=True):
+    """Route a representation model through the path-embedding service.
+
+    A model that already is a :class:`PathEmbeddingService` is used as-is
+    (so callers can share one cache across evaluations); with
+    ``serving=False`` the raw model is used directly.
+    """
+    if not serving or isinstance(model, PathEmbeddingService):
+        return model
+    return PathEmbeddingService(model)
+
+
 def _encode(model, temporal_paths):
     representations = model.encode(temporal_paths)
     representations = np.asarray(representations, dtype=np.float64)
@@ -72,12 +94,13 @@ def _encode(model, temporal_paths):
 
 
 def evaluate_travel_time(model, examples, test_fraction=0.2, seed=0,
-                         n_estimators=40, max_depth=3):
+                         n_estimators=40, max_depth=3, serving=True):
     """Fit GBR on TPRs -> travel time; report MAE / MARE / MAPE on the test split."""
     train, test = train_test_split(examples, test_fraction=test_fraction, seed=seed)
     if not train or not test:
         raise ValueError("need at least one train and one test example")
 
+    model = ensure_service(model, serving=serving)
     train_x = _encode(model, [e.temporal_path for e in train])
     test_x = _encode(model, [e.temporal_path for e in test])
     train_y = np.array([e.travel_time for e in train])
@@ -95,7 +118,7 @@ def evaluate_travel_time(model, examples, test_fraction=0.2, seed=0,
 
 
 def evaluate_ranking(model, examples, test_fraction=0.2, seed=0,
-                     n_estimators=40, max_depth=3):
+                     n_estimators=40, max_depth=3, serving=True):
     """Fit GBR on TPRs -> ranking score; report MAE / τ / ρ on the test split.
 
     The split is grouped by trip so the candidate set of one trip never
@@ -108,6 +131,7 @@ def evaluate_ranking(model, examples, test_fraction=0.2, seed=0,
     if not train or not test:
         raise ValueError("need at least one train and one test group")
 
+    model = ensure_service(model, serving=serving)
     train_x = _encode(model, [e.temporal_path for e in train])
     test_x = _encode(model, [e.temporal_path for e in test])
     train_y = np.array([e.score for e in train])
@@ -126,7 +150,7 @@ def evaluate_ranking(model, examples, test_fraction=0.2, seed=0,
 
 
 def evaluate_recommendation(model, examples, test_fraction=0.2, seed=0,
-                            n_estimators=40, max_depth=3):
+                            n_estimators=40, max_depth=3, serving=True):
     """Fit GBC on TPRs -> chosen/not-chosen; report accuracy and hit rate."""
     groups = [e.group for e in examples]
     train, test = grouped_train_test_split(examples, groups,
@@ -134,6 +158,7 @@ def evaluate_recommendation(model, examples, test_fraction=0.2, seed=0,
     if not train or not test:
         raise ValueError("need at least one train and one test group")
 
+    model = ensure_service(model, serving=serving)
     train_x = _encode(model, [e.temporal_path for e in train])
     test_x = _encode(model, [e.temporal_path for e in test])
     train_y = np.array([e.chosen for e in train])
@@ -153,20 +178,26 @@ def evaluate_recommendation(model, examples, test_fraction=0.2, seed=0,
     )
 
 
-def evaluate_all_tasks(model, tasks, test_fraction=0.2, seed=0, n_estimators=40):
+def evaluate_all_tasks(model, tasks, test_fraction=0.2, seed=0, n_estimators=40,
+                       serving=True):
     """Run all three downstream evaluations against one representation model.
 
     ``tasks`` is a :class:`~repro.datasets.tasks.TaskDatasets`.  Returns a
     dict with keys ``travel_time``, ``ranking`` and ``recommendation``.
+
+    One :class:`~repro.serving.PathEmbeddingService` is shared across the
+    three evaluations, so paths appearing in several task datasets are
+    encoded once and served from the cache afterwards.
     """
+    model = ensure_service(model, serving=serving)
     return {
         "travel_time": evaluate_travel_time(
             model, tasks.travel_time, test_fraction=test_fraction,
-            seed=seed, n_estimators=n_estimators),
+            seed=seed, n_estimators=n_estimators, serving=serving),
         "ranking": evaluate_ranking(
             model, tasks.ranking, test_fraction=test_fraction,
-            seed=seed, n_estimators=n_estimators),
+            seed=seed, n_estimators=n_estimators, serving=serving),
         "recommendation": evaluate_recommendation(
             model, tasks.recommendation, test_fraction=test_fraction,
-            seed=seed, n_estimators=n_estimators),
+            seed=seed, n_estimators=n_estimators, serving=serving),
     }

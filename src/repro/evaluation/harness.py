@@ -21,6 +21,7 @@ from ..downstream.metrics import (
     mare,
 )
 from ..downstream.tasks import (
+    ensure_service,
     evaluate_ranking,
     evaluate_recommendation,
     evaluate_travel_time,
@@ -57,23 +58,31 @@ __all__ = [
 # ----------------------------------------------------------------------
 # Shared evaluation helpers
 # ----------------------------------------------------------------------
-def representation_task_results(model, city, config, tasks=("travel_time", "ranking")):
-    """GBR/GBC evaluation of a frozen representation model on selected tasks."""
+def representation_task_results(model, city, config, tasks=("travel_time", "ranking"),
+                                serving=True):
+    """GBR/GBC evaluation of a frozen representation model on selected tasks.
+
+    Embeddings are obtained through one shared
+    :class:`~repro.serving.PathEmbeddingService` per model, so paths that
+    recur across the selected tasks hit the embedding cache instead of being
+    re-encoded; ``serving=False`` evaluates the raw model directly.
+    """
+    model = ensure_service(model, serving=serving)
     results = {}
     if "travel_time" in tasks:
         results["travel_time"] = evaluate_travel_time(
             model, city.tasks.travel_time, test_fraction=config.test_fraction,
-            seed=config.seed, n_estimators=config.n_estimators,
+            seed=config.seed, n_estimators=config.n_estimators, serving=serving,
         ).as_row()
     if "ranking" in tasks:
         results["ranking"] = evaluate_ranking(
             model, city.tasks.ranking, test_fraction=config.test_fraction,
-            seed=config.seed, n_estimators=config.n_estimators,
+            seed=config.seed, n_estimators=config.n_estimators, serving=serving,
         ).as_row()
     if "recommendation" in tasks:
         results["recommendation"] = evaluate_recommendation(
             model, city.tasks.recommendation, test_fraction=config.test_fraction,
-            seed=config.seed, n_estimators=config.n_estimators,
+            seed=config.seed, n_estimators=config.n_estimators, serving=serving,
         ).as_row()
     return results
 

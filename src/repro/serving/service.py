@@ -1,0 +1,236 @@
+"""The batched path-embedding service.
+
+:class:`PathEmbeddingService` fronts any representation model that exposes
+``encode(list_of_temporal_paths) -> (N, D) array`` — a trained
+:class:`~repro.core.model.WSCModel`, either path encoder, or any baseline
+implementing :class:`~repro.baselines.base.RepresentationModel` — and serves
+embeddings at batch granularity:
+
+1. **Cache lookup.**  Each requested path is first looked up in an LRU cache
+   keyed on ``(edge sequence, departure time)`` — exact by default, so a hit
+   is always correct whatever the model's temporal granularity.  Models that
+   only distinguish coarser time slots can widen the key with
+   :func:`slot_cache_key` (or any custom ``cache_key_fn``) for a higher hit
+   rate.
+2. **Deduplication.**  With the cache enabled, misses are deduplicated
+   within the request: the same temporal path requested twice is encoded
+   once.  With the cache disabled every occurrence is encoded
+   independently, so models whose embeddings are not a pure function of
+   the key keep their semantics.
+3. **Length-bucketed micro-batching.**  Remaining unique misses are grouped
+   by a :class:`~repro.serving.bucketing.BucketPolicy` so each micro-batch
+   is padded to its own bucket's maximum length instead of the global one.
+4. **Metrics.**  Per-request latency, throughput, padding efficiency and
+   cache counters are recorded in a
+   :class:`~repro.serving.metrics.ServiceMetrics` and exposed via
+   :meth:`PathEmbeddingService.scrape`.
+
+The service is *bit-faithful*: whatever the bucket policy, batch size or
+cache state, the returned matrix matches what one-at-a-time
+``model.encode([tp])`` calls produce (see ``tests/serving/``).
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+
+import numpy as np
+
+from .bucketing import get_bucket_policy
+from .cache import LRUEmbeddingCache
+from .metrics import ServiceMetrics
+
+__all__ = ["PathEmbeddingService", "default_cache_key", "slot_cache_key"]
+
+
+def default_cache_key(temporal_path):
+    """Cache key ``(edge sequence, exact departure time)`` for a temporal path.
+
+    Keying on the exact ``(day of week, seconds)`` departure time never
+    merges two requests a model could distinguish, whatever its temporal
+    granularity — so the default is safe for any served model.  Repeated
+    requests for the same temporal path (the common traffic pattern) still
+    hit.  To additionally merge requests within one model time slot, pass
+    ``cache_key_fn=slot_cache_key(model_slots_per_day)``.
+    """
+    departure = temporal_path.departure_time
+    day = getattr(departure, "day_of_week", None)
+    seconds = getattr(departure, "seconds", None)
+    if day is None or seconds is None:
+        return (temporal_path.path, repr(departure))
+    return (temporal_path.path, int(day), float(seconds))
+
+
+def slot_cache_key(slots_per_day):
+    """Key factory merging departure times within one ``(day, slot)`` bucket.
+
+    Safe whenever the served model consumes departure times at a granularity
+    no finer than ``slots_per_day`` slots (e.g. pass the model's
+    ``config.slots_per_day``); coarser keys than the model's own slots would
+    serve wrong embeddings.
+    """
+    slots_per_day = int(slots_per_day)
+    if slots_per_day < 1:
+        raise ValueError("slots_per_day must be >= 1")
+    seconds_per_slot = 86400.0 / slots_per_day
+
+    def key(temporal_path):
+        departure = temporal_path.departure_time
+        slot = min(int(departure.seconds // seconds_per_slot), slots_per_day - 1)
+        return (temporal_path.path,
+                departure.day_of_week * slots_per_day + slot)
+
+    return key
+
+
+class PathEmbeddingService:
+    """Serve path embeddings from a model with batching and caching.
+
+    Parameters
+    ----------
+    model:
+        Any object exposing ``encode(temporal_paths) -> (N, D) array``.
+    bucket_policy:
+        A :class:`~repro.serving.bucketing.BucketPolicy` instance or registry
+        name (``"none"``, ``"fixed"``, ``"pow2"``, ``"exact"``).
+    max_batch_size:
+        Upper bound on paths per model micro-batch.
+    cache_capacity:
+        LRU capacity in entries; ignored when ``cache_enabled`` is False.
+    cache_enabled:
+        Disable to force every request through the model (benchmarking,
+        or models whose embeddings are not a pure function of the key).
+    cache_key_fn:
+        Override the exact ``(edge sequence, departure time)`` key, e.g.
+        :func:`slot_cache_key` for slot-granular models.
+    """
+
+    def __init__(self, model, bucket_policy="fixed", max_batch_size=64,
+                 cache_capacity=4096, cache_enabled=True, cache_key_fn=None):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.model = model
+        self.bucket_policy = get_bucket_policy(bucket_policy)
+        self.max_batch_size = int(max_batch_size)
+        self.cache = LRUEmbeddingCache(cache_capacity) if cache_enabled else None
+        self.cache_key_fn = cache_key_fn or default_cache_key
+        self.metrics = ServiceMetrics()
+        self._output_dim = None
+        try:
+            encode_params = inspect.signature(model.encode).parameters
+            self._encode_accepts_batch_size = "batch_size" in encode_params
+        except (TypeError, ValueError):
+            self._encode_accepts_batch_size = False
+
+    # ------------------------------------------------------------------
+    @property
+    def output_dim(self):
+        """Embedding dimensionality, if known (None before the first batch)."""
+        if self._output_dim is not None:
+            return self._output_dim
+        for attribute in ("representation_dim", "output_dim", "hidden_dim"):
+            dim = getattr(self.model, attribute, None)
+            if isinstance(dim, (int, np.integer)):
+                self._output_dim = int(dim)
+                return self._output_dim
+        return None
+
+    def _encode_batch(self, temporal_paths):
+        """One model call; validates the result and records padding stats."""
+        if self._encode_accepts_batch_size:
+            # Encoders with an internal default batch_size (e.g. 64) would
+            # otherwise re-chunk our micro-batch, invalidating the padding
+            # stats and capping the effective batch below max_batch_size.
+            raw = self.model.encode(temporal_paths,
+                                    batch_size=len(temporal_paths))
+        else:
+            raw = self.model.encode(temporal_paths)
+        embeddings = np.asarray(raw, dtype=np.float64)
+        if embeddings.ndim != 2 or len(embeddings) != len(temporal_paths):
+            raise ValueError(
+                f"model returned shape {embeddings.shape} for "
+                f"{len(temporal_paths)} paths")
+        lengths = [len(tp) for tp in temporal_paths]
+        self.metrics.record_batch(len(temporal_paths), max(lengths), sum(lengths))
+        self._output_dim = embeddings.shape[1]
+        return embeddings
+
+    # ------------------------------------------------------------------
+    def embed(self, temporal_paths):
+        """Embeddings for ``temporal_paths`` as an ``(N, D)`` float64 matrix.
+
+        Rows are in request order.  Equivalent to stacking one-at-a-time
+        ``model.encode([tp])`` results, but batched, bucketed and cached.
+        """
+        temporal_paths = list(temporal_paths)
+        started = time.perf_counter()
+        count = len(temporal_paths)
+        if count == 0:
+            dim = self.output_dim or 0
+            self.metrics.record_request(0, time.perf_counter() - started)
+            return np.zeros((0, dim))
+
+        rows = [None] * count
+        # key -> list of request positions wanting that embedding.
+        pending = {}
+        pending_paths = []
+        for position, path in enumerate(temporal_paths):
+            if self.cache is None:
+                # No cache: no dedup either, so every occurrence is encoded
+                # independently (models need not be pure functions of the key).
+                pending[position] = [position]
+                pending_paths.append((position, path))
+                continue
+            key = self.cache_key_fn(path)
+            cached = self.cache.get(key)
+            if cached is not None:
+                rows[position] = cached
+            elif key in pending:
+                pending[key].append(position)
+            else:
+                pending[key] = [position]
+                pending_paths.append((key, path))
+
+        if pending_paths:
+            lengths = [len(path) for _, path in pending_paths]
+            plan = self.bucket_policy.plan(lengths, self.max_batch_size)
+            for batch_indices in plan:
+                batch = [pending_paths[i] for i in batch_indices]
+                embeddings = self._encode_batch([path for _, path in batch])
+                for (key, _), embedding in zip(batch, embeddings):
+                    if self.cache is not None:
+                        self.cache.put(key, embedding)
+                    for position in pending[key]:
+                        rows[position] = embedding
+
+        result = np.stack(rows, axis=0).astype(np.float64, copy=False)
+        self.metrics.record_request(count, time.perf_counter() - started)
+        return result
+
+    # ------------------------------------------------------------------
+    # RepresentationModel-compatible interface
+    # ------------------------------------------------------------------
+    def encode(self, temporal_paths):
+        """Alias of :meth:`embed` (the downstream evaluators' interface)."""
+        return self.embed(temporal_paths)
+
+    def represent(self, temporal_path):
+        """Embedding of a single temporal path as a 1-D array."""
+        return self.embed([temporal_path])[0]
+
+    # ------------------------------------------------------------------
+    def scrape(self):
+        """Metrics snapshot: throughput, latency, padding, cache and config."""
+        cache_stats = self.cache.stats() if self.cache is not None else None
+        scraped = self.metrics.scrape(cache_stats=cache_stats)
+        scraped["bucket_policy"] = self.bucket_policy.describe()
+        scraped["max_batch_size"] = self.max_batch_size
+        scraped["cache_enabled"] = self.cache is not None
+        return scraped
+
+    def reset_metrics(self):
+        """Zero serving metrics and cache counters (cache contents stay)."""
+        self.metrics.reset()
+        if self.cache is not None:
+            self.cache.reset_stats()

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import TemporalPathEncoder, pad_paths
+from repro.core import PAD_EDGE_ID, TemporalPathEncoder, pad_paths
 from repro.datasets import TemporalPath
 from repro.temporal import DepartureTime
 
@@ -34,13 +34,15 @@ class TestPadPaths:
             assert mask[row].sum() == len(path)
             np.testing.assert_array_equal(edge_ids[row, :len(path)], list(path.path))
 
-    def test_padding_repeats_last_edge(self, tiny_city):
+    def test_padding_uses_reserved_pad_id(self, tiny_city):
         paths = paths_from_city(tiny_city, 4)
         edge_ids, mask = pad_paths(paths)
-        shortest = min(range(len(paths)), key=lambda i: len(paths[i]))
-        length = len(paths[shortest])
-        if length < edge_ids.shape[1]:
-            assert edge_ids[shortest, length] == paths[shortest].path[-1]
+        for row, path in enumerate(paths):
+            np.testing.assert_array_equal(
+                edge_ids[row, len(path):], PAD_EDGE_ID)
+        # The sentinel is never a valid edge id.
+        assert PAD_EDGE_ID < 0
+        assert not np.any(edge_ids[mask.astype(bool)] == PAD_EDGE_ID)
 
     def test_empty_batch_rejected(self):
         with pytest.raises(ValueError):
@@ -115,3 +117,57 @@ class TestTemporalPathEncoder:
         grads = [p.grad for p in encoder.parameters()]
         assert any(g is not None and np.abs(g).sum() > 0 for g in grads)
         encoder.zero_grad()
+
+
+class TestReservedPadId:
+    """Regression tests: masked positions never contribute to pooled
+    embeddings or gradients (the reserved-pad-id fix)."""
+
+    def test_spatial_embedding_is_exactly_zero_at_pad_positions(
+            self, shared_resources):
+        spatial = shared_resources.new_spatial_embedding()
+        batch = np.array([[0, 1, PAD_EDGE_ID, PAD_EDGE_ID], [2, 3, 1, 0]])
+        embedded = spatial(batch)
+        np.testing.assert_array_equal(embedded.data[0, 2:], 0.0)
+        assert np.abs(embedded.data[0, :2]).sum() > 0
+        assert np.abs(embedded.data[1]).sum() > 0
+
+    def test_tpr_independent_of_batch_padding(self, encoder, tiny_city):
+        paths = sorted(tiny_city.unlabeled.temporal_paths[:6], key=len)
+        if len(paths[0]) == len(paths[-1]):
+            pytest.skip("tiny corpus produced equal-length paths")
+        alone = encoder.encode([paths[0]])
+        batched = encoder.encode(paths)
+        np.testing.assert_allclose(alone[0], batched[0], atol=1e-12)
+
+    def test_pad_positions_receive_no_gradient(self, tiny_city, tiny_config,
+                                               shared_resources):
+        encoder = TemporalPathEncoder(
+            tiny_city.network, tiny_config,
+            spatial_embedding=shared_resources.new_spatial_embedding(),
+            temporal_embedding=shared_resources.new_temporal_embedding(),
+        )
+        paths = sorted(tiny_city.unlabeled.temporal_paths[:5], key=len)
+        if len(paths[0]) == len(paths[-1]):
+            pytest.skip("tiny corpus produced equal-length paths")
+
+        def gradients(batches):
+            encoder.zero_grad()
+            for batch in batches:
+                encoder(batch).tprs.sum().backward()
+            return {name: (None if p.grad is None else p.grad.copy())
+                    for name, p in encoder.named_parameters()}
+
+        # sum-of-TPR losses decompose per path, so the padded-batch gradient
+        # must equal the sum of unpadded single-path gradients -- unless the
+        # pad positions leak gradient.
+        padded = gradients([paths])
+        unpadded = gradients([[p] for p in paths])
+        encoder.zero_grad()
+        assert set(padded) == set(unpadded)
+        for name, grad in padded.items():
+            other = unpadded[name]
+            if grad is None or other is None:
+                assert grad is None and other is None, name
+                continue
+            np.testing.assert_allclose(grad, other, atol=1e-9, err_msg=name)

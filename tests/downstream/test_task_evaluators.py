@@ -35,14 +35,24 @@ class LengthModel:
 
 
 class RandomModel:
-    """Pure-noise representations (no information about the path)."""
+    """Pure-noise representations (no information about the path).
+
+    Each path maps to a fixed random vector (seeded by the path identity), so
+    the model is a pure function as the serving layer's cache contract
+    requires, while still carrying no signal a GBR could generalise from.
+    """
 
     def __init__(self, dim=4, seed=0):
         self.dim = dim
-        self.rng = np.random.default_rng(seed)
+        self.seed = seed
 
     def encode(self, temporal_paths):
-        return self.rng.normal(size=(len(temporal_paths), self.dim))
+        rows = []
+        for tp in temporal_paths:
+            key = hash((self.seed, tp.path, tp.departure_time.slot_index))
+            rng = np.random.default_rng(key % (2 ** 32))
+            rows.append(rng.normal(size=self.dim))
+        return np.asarray(rows)
 
 
 class TestEvaluateTravelTime:
