@@ -3,6 +3,14 @@
 Both functions return losses to *minimise*; they are the negations of the
 paper's objectives (Eq. 10, Eq. 11) so they can be fed directly to an
 optimiser.  :func:`combined_wsc_loss` implements Eq. 12's λ-weighted sum.
+
+The public functions are the vectorized training fast path: one
+``(batch, batch)`` cosine-similarity matrix plus boolean positive/negative
+masks, with the per-query log-sum-exp done as a masked row-wise reduction —
+no Python loop over queries.  The original per-query loop implementations
+are retained as :func:`_reference_global_wsc_loss` /
+:func:`_reference_local_wsc_loss`; they are the oracles for the equivalence
+test suite and the loop-reference rows of the training-throughput benchmark.
 """
 
 from __future__ import annotations
@@ -14,14 +22,21 @@ from ..nn import functional as F
 
 __all__ = ["global_wsc_loss", "local_wsc_loss", "combined_wsc_loss"]
 
+# Removes an entry from a row-wise log-sum-exp (see nn.functional docs).
+_EXCLUDED_BIAS = F.EXCLUDED_BIAS
+
 
 def _normalized(tprs, eps=1e-12):
     norm = (tprs * tprs).sum(axis=-1, keepdims=True) ** 0.5
     return tprs / (norm + eps)
 
 
+def _zero_loss(dtype=None):
+    return nn.Tensor(np.zeros((), dtype=dtype or np.float64), requires_grad=False)
+
+
 def global_wsc_loss(tprs, contrast_sets, temperature=0.1):
-    """Global weakly-supervised contrastive loss (negated Eq. 10).
+    """Global weakly-supervised contrastive loss (negated Eq. 10), matrix form.
 
     Parameters
     ----------
@@ -37,6 +52,44 @@ def global_wsc_loss(tprs, contrast_sets, temperature=0.1):
     A scalar Tensor.  Returns a zero tensor when no query has both a
     positive and a negative sample (degenerate batch).
     """
+    size = len(contrast_sets.positives)
+    positive_mask = np.zeros((size, size), dtype=bool)
+    negative_mask = np.zeros((size, size), dtype=bool)
+    valid = []
+    for i in range(size):
+        positives = contrast_sets.positives[i]
+        negatives = contrast_sets.negatives[i]
+        if len(positives) == 0 or len(negatives) == 0:
+            continue
+        positive_mask[i, positives] = True
+        negative_mask[i, negatives] = True
+        valid.append(i)
+    if not valid:
+        return _zero_loss(tprs.data.dtype)
+    valid = np.asarray(valid, dtype=np.int64)
+
+    normalized = _normalized(tprs)
+    similarities = (normalized @ normalized.transpose()) * (1.0 / temperature)
+
+    # mean_{j in S_i} sim(i, j): one weighted row-sum instead of a gather per
+    # query.  Rows without positives have all-zero weights (and are dropped
+    # by the ``valid`` selection below).
+    dtype = similarities.data.dtype
+    counts = np.maximum(positive_mask.sum(axis=1, keepdims=True), 1).astype(dtype)
+    positive_weights = positive_mask.astype(dtype) / counts
+    positive_term = (similarities * nn.Tensor(positive_weights)).sum(axis=1)
+
+    # log sum_{k in N_i} exp(sim(i, k)): masked row-wise log-sum-exp.
+    negative_bias = np.where(negative_mask, 0.0, _EXCLUDED_BIAS)
+    masked = similarities + nn.Tensor(negative_bias.astype(similarities.data.dtype))
+    negative_lse = F.logsumexp(masked, axis=-1)
+
+    objective = (positive_term - negative_lse)[valid]
+    return -objective.mean()
+
+
+def _reference_global_wsc_loss(tprs, contrast_sets, temperature=0.1):
+    """Per-query loop implementation of Eq. 10 (equivalence oracle)."""
     normalized = _normalized(tprs)
     similarities = (normalized @ normalized.transpose()) * (1.0 / temperature)
 
@@ -54,15 +107,38 @@ def global_wsc_loss(tprs, contrast_sets, temperature=0.1):
         terms.append(objective)
 
     if not terms:
-        return nn.Tensor(np.zeros(()), requires_grad=False)
+        return _zero_loss(tprs.data.dtype)
     total = terms[0]
     for term in terms[1:]:
         total = total + term
     return -(total * (1.0 / len(terms)))
 
 
+def _padded_logsumexp(flat_sims, segment_lengths):
+    """Row-wise log-sum-exp over a flat Tensor split into ragged segments.
+
+    ``flat_sims`` is a 1-D Tensor of concatenated per-query similarity
+    values; ``segment_lengths`` gives each query's run length.  The segments
+    are gathered into one padded ``(num_queries, max_len)`` matrix (padding
+    biased by :data:`_EXCLUDED_BIAS`, so it contributes exactly zero) and
+    reduced with a single log-sum-exp — no Python loop over queries.
+    """
+    lengths = np.asarray(segment_lengths, dtype=np.int64)
+    num_queries = len(lengths)
+    max_len = int(lengths.max())
+    pad_index = np.zeros((num_queries, max_len), dtype=np.int64)
+    pad_bias = np.full((num_queries, max_len), _EXCLUDED_BIAS)
+    offset = 0
+    for row, length in enumerate(lengths):
+        pad_index[row, :length] = np.arange(offset, offset + length)
+        pad_bias[row, :length] = 0.0
+        offset += int(length)
+    padded = flat_sims[pad_index] + nn.Tensor(pad_bias.astype(flat_sims.data.dtype))
+    return F.logsumexp(padded, axis=-1)
+
+
 def local_wsc_loss(tprs, edge_representations, edge_sets, temperature=0.1):
-    """Local weakly-supervised contrastive loss (negated Eq. 11).
+    """Local weakly-supervised contrastive loss (negated Eq. 11), matrix form.
 
     Parameters
     ----------
@@ -74,6 +150,37 @@ def local_wsc_loss(tprs, edge_representations, edge_sets, temperature=0.1):
         :class:`~repro.core.sampling.EdgeSampleSets` giving the sampled
         positive/negative edge positions per query.
     """
+    batch = tprs.shape[0]
+    valid = [i for i in range(batch)
+             if len(edge_sets.positive_rows[i]) > 0
+             and len(edge_sets.negative_rows[i]) > 0]
+    if not valid:
+        return _zero_loss(tprs.data.dtype)
+
+    def gather_sims(rows_per_query, cols_per_query):
+        rows = np.concatenate([rows_per_query[i] for i in valid])
+        cols = np.concatenate([cols_per_query[i] for i in valid])
+        query_index = np.concatenate(
+            [np.full(len(rows_per_query[i]), i, dtype=np.int64) for i in valid])
+        # One gather for every (query, edge) pair in the batch.
+        edges = edge_representations[rows, cols]
+        queries = tprs[query_index]
+        sims = F.cosine_similarity(queries, edges) * (1.0 / temperature)
+        lengths = [len(rows_per_query[i]) for i in valid]
+        return _padded_logsumexp(sims, lengths)
+
+    positive_lse = gather_sims(edge_sets.positive_rows, edge_sets.positive_cols)
+    negative_lse = gather_sims(edge_sets.negative_rows, edge_sets.negative_cols)
+
+    weights = np.asarray(
+        [1.0 / len(edge_sets.positive_rows[i]) for i in valid],
+        dtype=positive_lse.data.dtype)
+    per_query = (positive_lse - negative_lse) * nn.Tensor(weights)
+    return -(per_query.sum() * (1.0 / len(valid)))
+
+
+def _reference_local_wsc_loss(tprs, edge_representations, edge_sets, temperature=0.1):
+    """Per-query loop implementation of Eq. 11 (equivalence oracle)."""
     terms = []
     batch = tprs.shape[0]
     for i in range(batch):
@@ -96,7 +203,7 @@ def local_wsc_loss(tprs, edge_representations, edge_sets, temperature=0.1):
         terms.append(objective)
 
     if not terms:
-        return nn.Tensor(np.zeros(()), requires_grad=False)
+        return _zero_loss(tprs.data.dtype)
     total = terms[0]
     for term in terms[1:]:
         total = total + term
@@ -104,16 +211,32 @@ def local_wsc_loss(tprs, edge_representations, edge_sets, temperature=0.1):
 
 
 def combined_wsc_loss(tprs, edge_representations, contrast_sets, edge_sets,
-                      lambda_balance=0.8, temperature=0.1):
+                      lambda_balance=0.8, temperature=0.1,
+                      global_loss=None, local_loss=None):
     """λ-weighted combination of the global and local losses (negated Eq. 12).
 
     ``lambda_balance = 1`` uses only the global loss ("w/o Local" ablation);
     ``lambda_balance = 0`` uses only the local loss ("w/o Global").
+    ``global_loss`` / ``local_loss`` override the implementations (used by
+    :func:`_reference_combined_wsc_loss`).
     """
+    global_loss = global_loss or global_wsc_loss
+    local_loss = local_loss or local_wsc_loss
     if lambda_balance >= 1.0:
-        return global_wsc_loss(tprs, contrast_sets, temperature=temperature)
+        return global_loss(tprs, contrast_sets, temperature=temperature)
     if lambda_balance <= 0.0:
-        return local_wsc_loss(tprs, edge_representations, edge_sets, temperature=temperature)
-    global_term = global_wsc_loss(tprs, contrast_sets, temperature=temperature)
-    local_term = local_wsc_loss(tprs, edge_representations, edge_sets, temperature=temperature)
+        return local_loss(tprs, edge_representations, edge_sets, temperature=temperature)
+    global_term = global_loss(tprs, contrast_sets, temperature=temperature)
+    local_term = local_loss(tprs, edge_representations, edge_sets, temperature=temperature)
     return global_term * lambda_balance + local_term * (1.0 - lambda_balance)
+
+
+def _reference_combined_wsc_loss(tprs, edge_representations, contrast_sets,
+                                 edge_sets, lambda_balance=0.8, temperature=0.1):
+    """Eq. 12 built from the per-query loop losses (benchmark baseline)."""
+    return combined_wsc_loss(
+        tprs, edge_representations, contrast_sets, edge_sets,
+        lambda_balance=lambda_balance, temperature=temperature,
+        global_loss=_reference_global_wsc_loss,
+        local_loss=_reference_local_wsc_loss,
+    )

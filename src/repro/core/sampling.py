@@ -82,7 +82,40 @@ def build_contrast_sets(batch):
     """Compute ``S_tpi`` and ``N_tpi`` for every sample in the batch.
 
     ``batch`` is a list of ``(TemporalPath, weak_label)``.
+
+    Samples are grouped by their ``(path, weak_label)`` key in one pass, so
+    construction is O(n) expected in the batch size instead of the O(n²)
+    pairwise scan (kept as :func:`_reference_build_contrast_sets` for the
+    regression test).  Positives of query ``i`` are its group minus itself;
+    negatives are the group's complement, shared by every group member.
     """
+    size = len(batch)
+    keys = [(tuple(tp.path), label) for tp, label in batch]
+    groups = {}
+    for index, key in enumerate(keys):
+        groups.setdefault(key, []).append(index)
+
+    all_indices = np.arange(size, dtype=np.int64)
+    group_members = {}
+    group_complement = {}
+    for key, members in groups.items():
+        members = np.asarray(members, dtype=np.int64)
+        group_members[key] = members
+        outside = np.ones(size, dtype=bool)
+        outside[members] = False
+        group_complement[key] = all_indices[outside]
+
+    positives = []
+    negatives = []
+    for index, key in enumerate(keys):
+        members = group_members[key]
+        positives.append(members[members != index])
+        negatives.append(group_complement[key])
+    return ContrastSets(positives=positives, negatives=negatives)
+
+
+def _reference_build_contrast_sets(batch):
+    """The original O(n²) pairwise scan (oracle for the regression test)."""
     paths = [tuple(tp.path) for tp, _ in batch]
     labels = [label for _, label in batch]
     size = len(batch)
@@ -118,7 +151,78 @@ def sample_edge_sets(batch, contrast_sets, mask, rng, edges_per_path=2):
     Positive edges come from the query's positive temporal paths (including
     the query itself, whose edges trivially share its path and weak label);
     negative edges come from its negative temporal paths.
+
+    All ``(query, path)`` pairs are drawn in one batched pass: a single
+    uniform matrix is ranked per pair (invalid columns pushed to the end), so
+    each pair's first ``min(edges_per_path, length)`` ranks are a uniform
+    sample without replacement — no per-pair ``rng.choice`` calls, which
+    dominated the training step.  The per-query loop sampler is kept as
+    :func:`_reference_sample_edge_sets` (same distribution, different random
+    stream).
     """
+    size = len(batch)
+    lengths = mask.sum(axis=1).astype(np.int64)
+    max_len = int(mask.shape[1])
+
+    def draw_group(paths_per_query):
+        group_sizes = np.fromiter((len(p) for p in paths_per_query),
+                                  dtype=np.int64, count=size)
+        total_pairs = int(group_sizes.sum())
+        if total_pairs == 0:
+            empty = np.asarray([], dtype=np.int64)
+            return [empty] * size, [empty] * size
+        pair_rows = np.concatenate(
+            [np.asarray(p, dtype=np.int64) for p in paths_per_query if len(p)])
+        query_of_pair = np.repeat(np.arange(size, dtype=np.int64), group_sizes)
+
+        pair_lengths = lengths[pair_rows]
+        counts = np.minimum(edges_per_path, pair_lengths)
+        counts = np.maximum(counts, 0)
+
+        # Rank a uniform matrix per pair; +inf on out-of-range columns keeps
+        # them past every valid rank.  The first ``counts`` ranked columns
+        # are a uniform without-replacement sample of the valid positions.
+        # Only the smallest ``edges_per_path`` ranks are consumed, so an
+        # O(T) argpartition plus a tiny prefix sort replaces the full
+        # O(T log T) argsort when paths are longer than the sample size.
+        scores = rng.random((total_pairs, max_len))
+        scores[np.arange(max_len)[None, :] >= pair_lengths[:, None]] = np.inf
+        candidates = min(edges_per_path, max_len)
+        if candidates < max_len:
+            prefix = np.argpartition(scores, candidates - 1, axis=1)[:, :candidates]
+            prefix_scores = np.take_along_axis(scores, prefix, axis=1)
+            order = np.argsort(prefix_scores, axis=1)
+            ranked_cols = np.take_along_axis(prefix, order, axis=1)
+        else:
+            ranked_cols = np.argsort(scores, axis=1)
+
+        take = np.arange(ranked_cols.shape[1])[None, :] < counts[:, None]
+        rows = np.repeat(pair_rows, counts)
+        cols = ranked_cols[take]
+        chosen_query = np.repeat(query_of_pair, counts)
+
+        # Pairs are ordered by query, so one split recovers the per-query lists.
+        per_query = np.bincount(chosen_query, minlength=size)
+        splits = np.cumsum(per_query)[:-1]
+        return np.split(rows, splits), np.split(cols, splits)
+
+    positive_paths = [
+        np.concatenate(([i], contrast_sets.positives[i])).astype(np.int64)
+        for i in range(size)
+    ]
+    positive_rows, positive_cols = draw_group(positive_paths)
+    negative_rows, negative_cols = draw_group(contrast_sets.negatives)
+
+    return EdgeSampleSets(
+        positive_rows=positive_rows,
+        positive_cols=positive_cols,
+        negative_rows=negative_rows,
+        negative_cols=negative_cols,
+    )
+
+
+def _reference_sample_edge_sets(batch, contrast_sets, mask, rng, edges_per_path=2):
+    """The original per-query ``rng.choice`` sampler (loop baseline)."""
     size = len(batch)
     lengths = mask.sum(axis=1).astype(np.int64)
 

@@ -36,6 +36,10 @@ class TemporalEmbedding(nn.Module):
         self.config = config
         self.slots_per_day = config.slots_per_day
         self.num_nodes = self.slots_per_day * DAYS_PER_WEEK
+        # Captured at construction (like Parameter dtypes), not at call time:
+        # a float32 model keeps producing float32 temporal features even when
+        # forward runs outside the dtype context it was built in.
+        self._dtype = nn.get_default_dtype()
 
         if embeddings is None:
             embeddings = self._fit_node2vec(config)
@@ -45,7 +49,9 @@ class TemporalEmbedding(nn.Module):
                 f"temporal embeddings have shape {embeddings.shape}, "
                 f"expected {(self.num_nodes, config.temporal_dim)}"
             )
-        self._embeddings = embeddings
+        # One cast at construction (not per forward): the gather in
+        # :meth:`forward` then reads and returns the module dtype directly.
+        self._embeddings = embeddings.astype(self._dtype, copy=False)
 
     def _fit_node2vec(self, config):
         graph = build_temporal_graph(slots_per_day=self.slots_per_day)
@@ -92,6 +98,6 @@ class TemporalEmbedding(nn.Module):
         """Temporal embedding ``t_all`` for a batch of departure times.
 
         Returns a constant (non-trainable) Tensor of shape
-        ``(batch, temporal_dim)``.
+        ``(batch, temporal_dim)`` in the module's construction-time dtype.
         """
         return nn.Tensor(self._embeddings[self.slot_indices(departure_times)])

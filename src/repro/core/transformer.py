@@ -6,9 +6,20 @@ small pre-norm Transformer encoder over the same spatio-temporal edge features,
 drop-in compatible with :class:`~repro.core.encoder.TemporalPathEncoder` (same
 constructor signature and :class:`EncodedBatch` output), so it can be used by
 ``WSCModel``/``WSCCL`` via the ``encoder_factory`` hook or standalone.
+
+Attention runs as a single fused 4-D computation — one reshape to
+``(batch, heads, time, head_dim)``, one batched matmul, one fused masked
+softmax, one batched matmul back — instead of a Python loop over heads.  The
+original per-head loop is kept as
+:meth:`MultiHeadSelfAttention._reference_forward` and is the oracle for the
+equivalence test suite; set ``attention.fused = False`` (or
+:meth:`TransformerPathEncoder.set_fused_attention`) to run it end to end,
+which the training-throughput benchmark does for its loop-reference rows.
 """
 
 from __future__ import annotations
+
+import contextlib
 
 import numpy as np
 
@@ -18,7 +29,17 @@ from .encoder import EncodedBatch, pad_paths
 from .spatial import SpatialEmbedding
 from .temporal_embedding import TemporalEmbedding
 
-__all__ = ["MultiHeadSelfAttention", "TransformerBlock", "TransformerPathEncoder"]
+__all__ = [
+    "MultiHeadSelfAttention",
+    "TransformerBlock",
+    "TransformerPathEncoder",
+    "attention_mask_bias",
+]
+
+#: Additive bias applied to masked attention scores; the shared
+#: :data:`repro.nn.functional.EXCLUDED_BIAS` underflows the softmax weight
+#: to exactly zero in both float32 and float64.
+MASK_BIAS_VALUE = F.EXCLUDED_BIAS
 
 
 def _sinusoidal_positions(length, dim):
@@ -32,8 +53,29 @@ def _sinusoidal_positions(length, dim):
     return encoding
 
 
+def attention_mask_bias(mask, dtype=None):
+    """Precompute the additive attention bias for a (batch, time) mask.
+
+    Returns a constant ``(batch, 1, 1, time)`` numpy array with 0 on valid
+    key positions and :data:`MASK_BIAS_VALUE` on padding, broadcastable
+    against ``(batch, heads, time, time)`` score tensors.  Computing it once
+    per encoder forward (instead of once per head per layer) is part of the
+    training fast path.
+    """
+    mask = np.asarray(mask)
+    bias = np.where(mask > 0, 0.0, MASK_BIAS_VALUE)
+    if dtype is not None:
+        bias = bias.astype(dtype)
+    return bias[:, None, None, :]
+
+
 class MultiHeadSelfAttention(nn.Module):
-    """Masked multi-head self-attention over (batch, time, dim) tensors."""
+    """Masked multi-head self-attention over (batch, time, dim) tensors.
+
+    The default forward is the fused 4-D path; ``fused = False`` switches to
+    the original per-head Python loop (kept for equivalence testing and the
+    loop-reference benchmark rows).
+    """
 
     def __init__(self, dim, num_heads=2, rng=None):
         super().__init__()
@@ -43,13 +85,44 @@ class MultiHeadSelfAttention(nn.Module):
         self.dim = dim
         self.num_heads = num_heads
         self.head_dim = dim // num_heads
+        self.fused = True
         self.query = nn.Linear(dim, dim, rng=rng)
         self.key = nn.Linear(dim, dim, rng=rng)
         self.value = nn.Linear(dim, dim, rng=rng)
         self.output = nn.Linear(dim, dim, rng=rng)
 
-    def forward(self, x, mask=None):
-        """``x`` is (batch, time, dim); ``mask`` is (batch, time) with 1 = valid."""
+    def forward(self, x, mask=None, mask_bias=None):
+        """``x`` is (batch, time, dim); ``mask`` is (batch, time) with 1 = valid.
+
+        ``mask_bias`` optionally supplies the precomputed
+        :func:`attention_mask_bias` array so stacked layers share one bias
+        instead of each rebuilding it from ``mask``.
+        """
+        if not self.fused:
+            if mask is None and mask_bias is not None:
+                # Recover the (batch, time) key mask so the loop path honours
+                # a precomputed bias instead of silently running unmasked.
+                mask = (np.asarray(mask_bias)[:, 0, 0, :] == 0.0).astype(x.data.dtype)
+            return self._reference_forward(x, mask=mask)
+        batch, time_steps, _ = x.shape
+        heads, head_dim = self.num_heads, self.head_dim
+        if mask_bias is None and mask is not None:
+            mask_bias = attention_mask_bias(mask, dtype=x.data.dtype)
+
+        # (B, T, D) -> (B, H, T, d): project once, split heads by reshape.
+        queries = self.query(x).reshape(batch, time_steps, heads, head_dim).transpose(0, 2, 1, 3)
+        keys = self.key(x).reshape(batch, time_steps, heads, head_dim).transpose(0, 2, 3, 1)
+        values = self.value(x).reshape(batch, time_steps, heads, head_dim).transpose(0, 2, 1, 3)
+
+        scale = 1.0 / np.sqrt(head_dim)
+        scores = (queries @ keys) * scale                      # (B, H, T, T)
+        attention = F.masked_softmax(scores, mask_bias=mask_bias, axis=-1)
+        context = attention @ values                           # (B, H, T, d)
+        combined = context.transpose(0, 2, 1, 3).reshape(batch, time_steps, self.dim)
+        return self.output(combined)
+
+    def _reference_forward(self, x, mask=None):
+        """The original per-head loop; oracle for the fused path."""
         batch, time_steps, _ = x.shape
         queries = self.query(x)
         keys = self.key(x)
@@ -65,8 +138,8 @@ class MultiHeadSelfAttention(nn.Module):
             v = values[:, :, start:stop]
             scores = (q @ k.transpose(0, 2, 1)) * scale        # (B, T, T)
             if mask is not None:
-                bias = (mask[:, None, :] - 1.0) * 1e9          # 0 valid, -1e9 pad
-                scores = scores + nn.Tensor(bias)
+                bias = ((mask[:, None, :] - 1.0) * 1e9)        # 0 valid, -1e9 pad
+                scores = scores + nn.Tensor(bias.astype(x.data.dtype))
             attention = F.softmax(scores, axis=-1)
             head_outputs.append(attention @ v)
         combined = nn.Tensor.concatenate(head_outputs, axis=-1)
@@ -85,8 +158,8 @@ class TransformerBlock(nn.Module):
         self.feedforward_in = nn.Linear(dim, dim * hidden_multiplier, rng=rng)
         self.feedforward_out = nn.Linear(dim * hidden_multiplier, dim, rng=rng)
 
-    def forward(self, x, mask=None):
-        x = x + self.attention(self.attention_norm(x), mask=mask)
+    def forward(self, x, mask=None, mask_bias=None):
+        x = x + self.attention(self.attention_norm(x), mask=mask, mask_bias=mask_bias)
         hidden = self.feedforward_in(self.feedforward_norm(x)).relu()
         return x + self.feedforward_out(hidden)
 
@@ -117,11 +190,46 @@ class TransformerPathEncoder(nn.Module):
             setattr(self, name, TransformerBlock(config.hidden_dim, num_heads=num_heads, rng=rng))
             self._block_names.append(name)
         self._positional = _sinusoidal_positions(max_path_length, config.hidden_dim)
+        # (max_len, dtype) -> constant Tensor; avoids re-slicing/re-wrapping
+        # the positional table on every forward.
+        self._positional_cache = {}
 
     @property
     def output_dim(self):
         """Dimensionality of the produced TPRs."""
         return self.config.hidden_dim
+
+    def set_fused_attention(self, fused):
+        """Toggle the fused attention path on every block (chainable)."""
+        for name in self._block_names:
+            getattr(self, name).attention.fused = bool(fused)
+        return self
+
+    @contextlib.contextmanager
+    def attention_impl(self, fused):
+        """Scope the fused/loop attention choice; restores prior flags on exit.
+
+        Used by :class:`~repro.core.trainer.WSCTrainer` so an ``impl`` knob
+        on one trainer cannot permanently change a model shared with other
+        trainers or with the serving layer.
+        """
+        blocks = [getattr(self, name) for name in self._block_names]
+        previous = [block.attention.fused for block in blocks]
+        self.set_fused_attention(fused)
+        try:
+            yield self
+        finally:
+            for block, flag in zip(blocks, previous):
+                block.attention.fused = flag
+
+    def _positional_tensor(self, max_len, dtype):
+        key = (max_len, np.dtype(dtype).name)
+        cached = self._positional_cache.get(key)
+        if cached is None:
+            cached = nn.Tensor(
+                self._positional[:max_len][None, :, :].astype(dtype))
+            self._positional_cache[key] = cached
+        return cached
 
     def forward(self, temporal_paths):
         """Encode a batch of temporal paths into an :class:`EncodedBatch`."""
@@ -136,16 +244,21 @@ class TransformerPathEncoder(nn.Module):
         temporal = self.temporal([tp.departure_time for tp in temporal_paths])
         if not self.use_temporal:
             temporal = nn.Tensor(np.zeros_like(temporal.data))
-        temporal_steps = nn.Tensor(np.repeat(temporal.data[:, None, :], max_len, axis=1))
+        temporal_steps = nn.Tensor(
+            np.repeat(temporal.data[:, None, :], max_len, axis=1)
+            .astype(spatial.data.dtype, copy=False))
         inputs = nn.Tensor.concatenate([temporal_steps, spatial], axis=-1)
 
         hidden = self.input_projection(inputs)
-        hidden = hidden + nn.Tensor(self._positional[:max_len][None, :, :])
+        hidden = hidden + self._positional_tensor(max_len, hidden.data.dtype)
+        # One bias for all layers instead of one Tensor wrap per head per layer.
+        mask_bias = attention_mask_bias(mask, dtype=hidden.data.dtype)
         for name in self._block_names:
-            hidden = getattr(self, name)(hidden, mask=mask)
+            hidden = getattr(self, name)(hidden, mask=mask, mask_bias=mask_bias)
 
-        mask_tensor = nn.Tensor(mask[:, :, None])
-        counts = nn.Tensor(np.maximum(mask.sum(axis=1, keepdims=True), 1.0))
+        dtype = hidden.data.dtype
+        mask_tensor = nn.Tensor(mask[:, :, None].astype(dtype))
+        counts = nn.Tensor(np.maximum(mask.sum(axis=1, keepdims=True), 1.0).astype(dtype))
         tprs = (hidden * mask_tensor).sum(axis=1) / counts
         return EncodedBatch(tprs=tprs, edge_representations=hidden,
                             mask=mask, edge_ids=edge_ids)

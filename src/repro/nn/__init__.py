@@ -10,11 +10,20 @@ from .layers import Dropout, Embedding, LayerNorm, Linear, ReLU, Sigmoid, Tanh
 from .module import Module, Parameter, Sequential
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
 from .recurrent import GRU, GRUCell, LSTM, LSTMCell
-from .tensor import Tensor, no_grad
+from .tensor import (
+    Tensor,
+    default_dtype,
+    get_default_dtype,
+    no_grad,
+    set_default_dtype,
+)
 
 __all__ = [
     "Tensor",
     "no_grad",
+    "set_default_dtype",
+    "get_default_dtype",
+    "default_dtype",
     "Module",
     "Parameter",
     "Sequential",

@@ -18,10 +18,19 @@ __all__ = ["Parameter", "Module", "Sequential"]
 
 
 class Parameter(Tensor):
-    """A :class:`Tensor` that is registered as trainable by ``Module``."""
+    """A :class:`Tensor` that is registered as trainable by ``Module``.
 
-    def __init__(self, data):
-        super().__init__(data, requires_grad=True)
+    Parameters are always materialised in the configurable default dtype
+    (``nn.set_default_dtype``) unless an explicit ``dtype`` is given, so a
+    model built inside ``nn.default_dtype("float32")`` really is a float32
+    model even though initialisers hand back float64 arrays.
+    """
+
+    def __init__(self, data, dtype=None):
+        from .tensor import get_default_dtype
+
+        super().__init__(data, requires_grad=True,
+                         dtype=dtype or get_default_dtype())
 
 
 class Module:
@@ -98,7 +107,7 @@ class Module:
         for name, param in self.named_parameters():
             if name not in state:
                 raise KeyError(f"missing parameter in state dict: {name}")
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"

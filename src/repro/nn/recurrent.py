@@ -49,8 +49,9 @@ class LSTMCell(Module):
 
     def initial_state(self, batch_size):
         """Zero hidden and cell state."""
-        zeros = Tensor(np.zeros((batch_size, self.hidden_size)))
-        return zeros, Tensor(np.zeros((batch_size, self.hidden_size)))
+        dtype = self.weight_hh.data.dtype
+        zeros = Tensor(np.zeros((batch_size, self.hidden_size), dtype=dtype))
+        return zeros, Tensor(np.zeros((batch_size, self.hidden_size), dtype=dtype))
 
 
 class LSTM(Module):
@@ -95,7 +96,7 @@ class LSTM(Module):
         """
         x = x if isinstance(x, Tensor) else Tensor(x)
         batch, time_steps, _ = x.shape
-        mask_array = None if mask is None else np.asarray(mask, dtype=np.float64)
+        mask_array = None if mask is None else np.asarray(mask, dtype=x.data.dtype)
 
         layer_input_steps = [x[:, t, :] for t in range(time_steps)]
         for name in self._cell_names:
@@ -142,7 +143,8 @@ class GRUCell(Module):
         return update * h_prev + (1.0 - update) * new
 
     def initial_state(self, batch_size):
-        return Tensor(np.zeros((batch_size, self.hidden_size)))
+        dtype = self.weight_hh.data.dtype
+        return Tensor(np.zeros((batch_size, self.hidden_size), dtype=dtype))
 
 
 class GRU(Module):
@@ -167,7 +169,7 @@ class GRU(Module):
         """Same calling convention as :class:`LSTM`."""
         x = x if isinstance(x, Tensor) else Tensor(x)
         batch, time_steps, _ = x.shape
-        mask_array = None if mask is None else np.asarray(mask, dtype=np.float64)
+        mask_array = None if mask is None else np.asarray(mask, dtype=x.data.dtype)
 
         layer_input_steps = [x[:, t, :] for t in range(time_steps)]
         for name in self._cell_names:

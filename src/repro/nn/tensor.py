@@ -16,10 +16,71 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "set_default_dtype",
+    "get_default_dtype",
+    "default_dtype",
+]
 
 
 _GRAD_ENABLED = [True]
+
+#: Floating dtypes the engine supports.  float64 is the historical default
+#: (and what the 1e-10 serving-equivalence suites rely on); float32 is the
+#: training fast path's default, halving memory traffic per step.
+_SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+_DEFAULT_DTYPE = [np.dtype(np.float64)]
+
+
+def _canonical_dtype(dtype):
+    resolved = np.dtype(dtype)
+    if resolved not in _SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported dtype {dtype!r}: expected one of "
+            f"{[d.name for d in _SUPPORTED_DTYPES]}")
+    return resolved
+
+
+def set_default_dtype(dtype):
+    """Set the dtype new tensors are created with; returns the previous one.
+
+    Accepts ``np.float32`` / ``np.float64`` or their string names.  Tensors
+    built from plain lists, scalars or integer arrays are cast to this dtype;
+    float32/float64 numpy arrays keep their own dtype (per-tensor dtype), so a
+    float64 model keeps computing in float64 even while the default is
+    float32.
+    """
+    previous = _DEFAULT_DTYPE[0]
+    _DEFAULT_DTYPE[0] = _canonical_dtype(dtype)
+    return previous
+
+
+def get_default_dtype():
+    """The dtype currently used for new tensors (``np.dtype``)."""
+    return _DEFAULT_DTYPE[0]
+
+
+class default_dtype:
+    """Context manager scoping :func:`set_default_dtype`.
+
+    >>> with default_dtype("float32"):
+    ...     model = build_model()   # float32 parameters
+    """
+
+    def __init__(self, dtype):
+        self._dtype = _canonical_dtype(dtype)
+
+    def __enter__(self):
+        self._previous = set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        set_default_dtype(self._previous)
+        return False
 
 
 class no_grad:
@@ -44,10 +105,18 @@ def is_grad_enabled():
     return _GRAD_ENABLED[0]
 
 
-def _as_array(data, dtype=np.float64):
-    if isinstance(data, np.ndarray):
-        if data.dtype != dtype:
-            return data.astype(dtype)
+def _as_array(data, dtype=None):
+    if dtype is None:
+        # Per-tensor dtype: float32/float64 arrays (and numpy scalars, which
+        # full reductions like ``arr.sum()`` produce) keep their own dtype so
+        # mixed-precision graphs are possible; everything else (lists, python
+        # scalars, integer arrays) is cast to the configurable default.
+        if isinstance(data, (np.ndarray, np.generic)) and data.dtype in _SUPPORTED_DTYPES:
+            return np.asarray(data)
+        dtype = _DEFAULT_DTYPE[0]
+    else:
+        dtype = _canonical_dtype(dtype)
+    if isinstance(data, np.ndarray) and data.dtype == dtype:
         return data
     return np.asarray(data, dtype=dtype)
 
@@ -77,16 +146,21 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload.  Stored as ``float64``.
+        Array-like payload.  Stored as the configurable default floating
+        dtype (:func:`set_default_dtype`; float64 unless changed), except
+        that float32/float64 numpy arrays keep their own dtype.
     requires_grad:
         Whether gradients should be accumulated into ``self.grad`` when
         :meth:`backward` is called on a downstream tensor.
+    dtype:
+        Optional explicit dtype (``np.float32`` / ``np.float64``) overriding
+        both the payload's dtype and the default.
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
 
-    def __init__(self, data, requires_grad=False, _parents=(), _op=""):
-        self.data = _as_array(data)
+    def __init__(self, data, requires_grad=False, _parents=(), _op="", dtype=None):
+        self.data = _as_array(data, dtype=dtype)
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad = None
         self._backward = None
@@ -107,6 +181,10 @@ class Tensor:
     @property
     def size(self):
         return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
 
     @property
     def T(self):
@@ -130,6 +208,20 @@ class Tensor:
         """Return a new tensor sharing data but cut off from the graph."""
         return Tensor(self.data, requires_grad=False)
 
+    def astype(self, dtype):
+        """Differentiable dtype cast; gradients are cast back on the way in."""
+        dtype = _canonical_dtype(dtype)
+        if dtype == self.data.dtype:
+            return self
+        out_data = self.data.astype(dtype)
+        source_dtype = self.data.dtype
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.astype(source_dtype))
+
+        return self._make_result(out_data, (self,), backward, "astype")
+
     def zero_grad(self):
         """Reset the accumulated gradient."""
         self.grad = None
@@ -138,9 +230,14 @@ class Tensor:
     # Graph construction helpers
     # ------------------------------------------------------------------
     @staticmethod
-    def _ensure(other):
+    def _ensure(other, dtype=None):
         if isinstance(other, Tensor):
             return other
+        if dtype is not None and not isinstance(other, np.ndarray):
+            # Python scalars/lists adopt the companion operand's dtype so a
+            # float32 graph is not upcast by `x * 0.5`-style constants when
+            # the global default is float64.
+            return Tensor(other, dtype=dtype)
         return Tensor(other)
 
     def _make_result(self, data, parents, backward, op):
@@ -159,7 +256,7 @@ class Tensor:
     # Arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other):
-        other = self._ensure(other)
+        other = self._ensure(other, dtype=self.data.dtype)
         out_data = self.data + other.data
 
         def backward(grad):
@@ -173,7 +270,7 @@ class Tensor:
     __radd__ = __add__
 
     def __sub__(self, other):
-        other = self._ensure(other)
+        other = self._ensure(other, dtype=self.data.dtype)
         out_data = self.data - other.data
 
         def backward(grad):
@@ -185,10 +282,10 @@ class Tensor:
         return self._make_result(out_data, (self, other), backward, "sub")
 
     def __rsub__(self, other):
-        return self._ensure(other).__sub__(self)
+        return self._ensure(other, dtype=self.data.dtype).__sub__(self)
 
     def __mul__(self, other):
-        other = self._ensure(other)
+        other = self._ensure(other, dtype=self.data.dtype)
         out_data = self.data * other.data
 
         def backward(grad):
@@ -202,7 +299,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other):
-        other = self._ensure(other)
+        other = self._ensure(other, dtype=self.data.dtype)
         out_data = self.data / other.data
 
         def backward(grad):
@@ -216,7 +313,7 @@ class Tensor:
         return self._make_result(out_data, (self, other), backward, "div")
 
     def __rtruediv__(self, other):
-        return self._ensure(other).__truediv__(self)
+        return self._ensure(other, dtype=self.data.dtype).__truediv__(self)
 
     def __neg__(self):
         out_data = -self.data
@@ -239,7 +336,7 @@ class Tensor:
         return self._make_result(out_data, (self,), backward, "pow")
 
     def __matmul__(self, other):
-        other = self._ensure(other)
+        other = self._ensure(other, dtype=self.data.dtype)
         out_data = self.data @ other.data
 
         def backward(grad):
@@ -459,7 +556,7 @@ class Tensor:
                 raise RuntimeError("grad must be provided for non-scalar tensors")
             grad = np.ones_like(self.data)
         else:
-            grad = _as_array(grad)
+            grad = _as_array(grad, dtype=self.data.dtype)
 
         # Topological ordering of the graph reachable from self.
         order = []

@@ -110,3 +110,93 @@ class TestEdgeSampleSets:
         edge_sets = sample_edge_sets(batch, sets, mask, rng, edges_per_path=1)
         # Query 0 has 1 positive path plus itself -> at most 2 positive edges.
         assert len(edge_sets.positive_rows[0]) <= 2
+
+
+class TestGroupedContrastSetsRegression:
+    """The O(n) dict-grouped construction must reproduce the O(n²) scan."""
+
+    def _random_batch(self, size, seed):
+        rng = np.random.default_rng(seed)
+        labeler = PeakOffPeakLabeler()
+        pool = [
+            [1, 2, 3, 4],
+            [1, 2, 3, 4],   # duplicated on purpose: same-path groups
+            [5, 6, 7],
+            [8, 9],
+        ]
+        batch = []
+        for _ in range(size):
+            path = pool[rng.integers(0, len(pool))]
+            hour = float(rng.uniform(0.0, 24.0))
+            tp = TemporalPath(path=list(path),
+                              departure_time=DepartureTime.from_hour(
+                                  int(rng.integers(0, 7)), hour))
+            batch.append((tp, labeler(tp.departure_time)))
+        return batch
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("size", [2, 7, 33])
+    def test_matches_pairwise_scan_on_randomized_batch(self, seed, size):
+        from repro.core.sampling import _reference_build_contrast_sets
+
+        batch = self._random_batch(size, seed)
+        fast = build_contrast_sets(batch)
+        slow = _reference_build_contrast_sets(batch)
+        for i in range(size):
+            np.testing.assert_array_equal(fast.positives[i], slow.positives[i])
+            np.testing.assert_array_equal(fast.negatives[i], slow.negatives[i])
+
+
+class TestVectorizedEdgeSampler:
+    """Distributional/structural checks for the batched edge sampler."""
+
+    def test_reference_sampler_same_structure(self, rng):
+        from repro.core.sampling import _reference_sample_edge_sets
+
+        batch, _ = make_batch()
+        sets = build_contrast_sets(batch)
+        _, mask = pad_paths([tp for tp, _ in batch])
+        lengths = mask.sum(axis=1)
+
+        for sampler in (sample_edge_sets, _reference_sample_edge_sets):
+            edge_sets = sampler(batch, sets, mask, np.random.default_rng(0),
+                                edges_per_path=2)
+            for i in range(len(batch)):
+                allowed_pos = set(sets.positives[i].tolist()) | {i}
+                assert set(edge_sets.positive_rows[i].tolist()) <= allowed_pos
+                assert set(edge_sets.negative_rows[i].tolist()) <= set(
+                    sets.negatives[i].tolist())
+                for rows, cols in ((edge_sets.positive_rows[i],
+                                    edge_sets.positive_cols[i]),
+                                   (edge_sets.negative_rows[i],
+                                    edge_sets.negative_cols[i])):
+                    for row, col in zip(rows, cols):
+                        assert col < lengths[row]
+
+    def test_draws_without_replacement_per_path(self, rng):
+        batch, _ = make_batch()
+        sets = build_contrast_sets(batch)
+        _, mask = pad_paths([tp for tp, _ in batch])
+        edge_sets = sample_edge_sets(batch, sets, mask, rng, edges_per_path=3)
+        for i in range(len(batch)):
+            seen = set()
+            for row, col in zip(edge_sets.positive_rows[i],
+                                edge_sets.positive_cols[i]):
+                assert (int(row), int(col)) not in seen
+                seen.add((int(row), int(col)))
+
+    def test_sample_counts_match_reference_sampler(self, rng):
+        """Both samplers draw min(edges_per_path, length) edges per pair."""
+        from repro.core.sampling import _reference_sample_edge_sets
+
+        batch, _ = make_batch()
+        sets = build_contrast_sets(batch)
+        _, mask = pad_paths([tp for tp, _ in batch])
+        fast = sample_edge_sets(batch, sets, mask, np.random.default_rng(1),
+                                edges_per_path=2)
+        slow = _reference_sample_edge_sets(batch, sets, mask,
+                                           np.random.default_rng(1),
+                                           edges_per_path=2)
+        for i in range(len(batch)):
+            assert len(fast.positive_rows[i]) == len(slow.positive_rows[i])
+            assert len(fast.negative_rows[i]) == len(slow.negative_rows[i])

@@ -1,0 +1,117 @@
+"""Tests for the configurable autograd dtype (training fast-path knob)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+class TestDefaultDtype:
+    def test_default_is_float64(self):
+        assert nn.get_default_dtype() == np.float64
+        assert Tensor([1.0, 2.0]).dtype == np.float64
+
+    def test_set_default_dtype_round_trip(self):
+        previous = nn.set_default_dtype("float32")
+        try:
+            assert previous == np.float64
+            assert nn.get_default_dtype() == np.float32
+            assert Tensor([1.0, 2.0]).dtype == np.float32
+        finally:
+            nn.set_default_dtype(previous)
+        assert nn.get_default_dtype() == np.float64
+
+    def test_context_manager_restores_on_exit(self):
+        with nn.default_dtype(np.float32):
+            assert nn.get_default_dtype() == np.float32
+        assert nn.get_default_dtype() == np.float64
+
+    def test_context_manager_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with nn.default_dtype("float32"):
+                raise RuntimeError("boom")
+        assert nn.get_default_dtype() == np.float64
+
+    def test_rejects_unsupported_dtypes(self):
+        with pytest.raises(ValueError):
+            nn.set_default_dtype(np.int64)
+        with pytest.raises(ValueError):
+            nn.default_dtype("float16")
+
+
+class TestPerTensorDtype:
+    def test_explicit_dtype_argument(self):
+        assert Tensor([1.0], dtype=np.float32).dtype == np.float32
+        assert Tensor(np.zeros(3, dtype=np.float32), dtype="float64").dtype == np.float64
+
+    def test_float_arrays_keep_their_dtype(self):
+        """float32 arrays survive wrapping even under a float64 default."""
+        assert Tensor(np.zeros(3, dtype=np.float32)).dtype == np.float32
+        assert Tensor(np.zeros(3, dtype=np.float64)).dtype == np.float64
+
+    def test_integer_input_cast_to_default(self):
+        assert Tensor(np.arange(3)).dtype == np.float64
+        with nn.default_dtype("float32"):
+            assert Tensor(np.arange(3)).dtype == np.float32
+
+    def test_astype_is_differentiable(self):
+        x = Tensor(np.ones(4, dtype=np.float64), requires_grad=True)
+        y = x.astype(np.float32)
+        assert y.dtype == np.float32
+        (y * 2.0).sum().backward()
+        assert x.grad.dtype == np.float64
+        np.testing.assert_allclose(x.grad, 2.0 * np.ones(4))
+
+    def test_astype_same_dtype_is_identity(self):
+        x = Tensor(np.ones(3))
+        assert x.astype(np.float64) is x
+
+
+class TestFloat32Graphs:
+    def test_ops_and_gradients_stay_float32(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)).astype(np.float32),
+                   requires_grad=True)
+        out = ((x * 2.0 + 1.0).tanh() @ Tensor(np.ones((4, 2), dtype=np.float32))).sum()
+        assert out.dtype == np.float32
+        out.backward()
+        assert x.grad.dtype == np.float32
+
+    def test_scalar_constants_do_not_upcast(self):
+        """Python-scalar operands adopt the tensor's dtype, even when the
+        global default dtype differs."""
+        x = Tensor(np.ones(3, dtype=np.float32))
+        assert (x * 0.5).dtype == np.float32
+        assert (x + 1.0).dtype == np.float32
+        assert (1.0 - x).dtype == np.float32
+        assert (x / 2.0).dtype == np.float32
+        assert x.mean().dtype == np.float32
+
+    def test_full_reduction_keeps_dtype(self):
+        x = Tensor(np.ones((2, 3), dtype=np.float32))
+        assert x.sum().dtype == np.float32
+        assert x.max().dtype == np.float32
+
+    def test_parameters_follow_default_dtype(self):
+        with nn.default_dtype("float32"):
+            layer = nn.Linear(4, 2)
+            norm = nn.LayerNorm(4)
+        assert all(p.dtype == np.float32 for p in layer.parameters())
+        assert all(p.dtype == np.float32 for p in norm.parameters())
+        out = layer(np.ones((5, 4), dtype=np.float32))
+        assert out.dtype == np.float32
+
+    def test_load_state_dict_preserves_parameter_dtype(self):
+        with nn.default_dtype("float32"):
+            layer = nn.Linear(3, 3)
+        state = {name: value.astype(np.float64)
+                 for name, value in layer.state_dict().items()}
+        layer.load_state_dict(state)
+        assert all(p.dtype == np.float32 for p in layer.parameters())
+
+    def test_backward_seed_gradient_cast_to_tensor_dtype(self):
+        x = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        (x * 3.0).backward(np.ones((2, 2)))  # float64 seed
+        assert x.grad.dtype == np.float32

@@ -134,3 +134,45 @@ class TestDropout:
         x = Tensor(np.ones((1000,)))
         out = F.dropout(x, rate=0.5, training=True, rng=rng)
         assert (out.data == 0.0).sum() > 300
+
+
+class TestMaskedSoftmax:
+    def test_matches_softmax_when_no_bias(self, rng):
+        x = Tensor(rng.normal(size=(3, 5)))
+        np.testing.assert_allclose(F.masked_softmax(x).data,
+                                   F.softmax(x, axis=-1).data, atol=1e-12)
+
+    def test_matches_softmax_of_biased_scores(self, rng):
+        x = rng.normal(size=(2, 4, 4))
+        bias = np.where(rng.random((2, 1, 4)) > 0.4, 0.0, -1e9)
+        fused = F.masked_softmax(Tensor(x), mask_bias=bias)
+        unfused = F.softmax(Tensor(x) + Tensor(bias), axis=-1)
+        np.testing.assert_allclose(fused.data, unfused.data, atol=1e-12)
+
+    def test_masked_positions_get_zero_weight(self, rng):
+        x = Tensor(rng.normal(size=(1, 4)))
+        bias = np.array([[0.0, 0.0, -1e9, -1e9]])
+        out = F.masked_softmax(x, mask_bias=bias)
+        np.testing.assert_allclose(out.data[0, 2:], 0.0)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_gradient_matches_composed_softmax(self, rng):
+        x_data = rng.normal(size=(2, 3, 3))
+        bias = np.where(rng.random((2, 1, 3)) > 0.3, 0.0, -1e9)
+
+        fused_in = Tensor(x_data, requires_grad=True)
+        (F.masked_softmax(fused_in, mask_bias=bias) * 3.0).sum().backward()
+        composed_in = Tensor(x_data, requires_grad=True)
+        (F.softmax(composed_in + Tensor(bias), axis=-1) * 3.0).sum().backward()
+        np.testing.assert_allclose(fused_in.grad, composed_in.grad, atol=1e-9)
+
+    def test_masked_positions_receive_zero_gradient(self, rng):
+        x = Tensor(rng.normal(size=(1, 4)), requires_grad=True)
+        bias = np.array([[0.0, 0.0, -1e9, -1e9]])
+        (F.masked_softmax(x, mask_bias=bias)[0, :2]).sum().backward()
+        np.testing.assert_allclose(x.grad[0, 2:], 0.0)
+
+    def test_records_single_graph_node(self, rng):
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        out = F.masked_softmax(x, mask_bias=np.zeros((2, 3)))
+        assert out._parents == (x,)
