@@ -1,0 +1,306 @@
+"""Downstream evaluation throughput: task x n_estimators x impl.
+
+Times gradient-boosting fit + full-matrix predict over synthetic workloads
+sized like the paper's downstream evaluations and emits a run-table JSON in
+the experiment-runner style.  Rows marked ``impl = "reference"`` run the
+original Python loops (per-threshold split scan, per-row ``predict`` walk);
+``impl = "exact"`` is the vectorized engine on the same midpoint thresholds
+(bit-identical trees, used for the equivalence gates); ``impl =
+"histogram"`` is the quantile-binned throughput mode.  Each non-reference
+row's ``speedup`` is fit+predict time against the reference row with the
+same task and ``n_estimators``.
+
+Run-table schema (``--out`` / stdout)::
+
+    {
+      "schema": "downstream-throughput-run-table/v1",
+      "workload": {"rows_train", "rows_predict", "num_features", "max_depth"},
+      "rows": [{"task", "n_estimators", "impl", "fit_seconds",
+                "predict_seconds", "fits_per_s", "rows_per_s_predicted",
+                "metric", "metric_value", "peak_rss_mb", "rss_end_mb",
+                "speedup"}]
+    }
+
+``--check`` additionally gates the PR's acceptance criteria: histogram
+fit+predict >= 5x the reference at N >= 2000 rows / n_estimators >= 40, and
+``run_table3_overall`` / ``run_table4_recommendation`` metric-equivalent
+(<= 1e-9) between the reference and vectorized engines on exact splits.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_downstream_throughput.py          # full grid
+    PYTHONPATH=src python benchmarks/bench_downstream_throughput.py --smoke  # CI smoke
+    PYTHONPATH=src python benchmarks/bench_downstream_throughput.py --check  # assert gates
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.downstream import (
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    accuracy,
+    mae,
+)
+
+IMPLS = {
+    # impl label -> (constructor impl, binning)
+    "reference": ("reference", "exact"),
+    "exact": ("vectorized", "exact"),
+    "histogram": ("vectorized", "histogram"),
+}
+
+
+def peak_rss_mb():
+    """Peak resident set size of this process in MiB (monotonic)."""
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS
+        peak_kb /= 1024.0
+    return peak_kb / 1024.0
+
+
+def current_rss_mb():
+    """Current resident set size in MiB (falls back to the peak off Linux)."""
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    return peak_rss_mb()
+
+
+def build_workload(rows_train, rows_predict, num_features, seed=0):
+    """Synthetic embedding-shaped matrices with learnable regression and
+    classification targets (mirrors the frozen-TPR -> label setup)."""
+    rng = np.random.default_rng(seed)
+    total = rows_train + rows_predict
+    features = rng.normal(size=(total, num_features))
+    signal = (2.0 * features[:, 0] + np.sin(features[:, 1])
+              + 0.5 * features[:, 2 % num_features])
+    targets = signal + rng.normal(scale=0.2, size=total)
+    labels = (signal + rng.normal(scale=0.5, size=total) > 0).astype(np.int64)
+    return {
+        "train_x": features[:rows_train],
+        "predict_x": features[rows_train:],
+        "train_y": targets[:rows_train],
+        "predict_y": targets[rows_train:],
+        "train_labels": labels[:rows_train],
+        "predict_labels": labels[rows_train:],
+    }
+
+
+def run_configuration(workload, task, n_estimators, impl_label, max_depth=3, seed=0):
+    """Time one fit + one full predict; returns a run-table row."""
+    impl, binning = IMPLS[impl_label]
+    if task == "recommendation":
+        model = GradientBoostingClassifier(
+            n_estimators=n_estimators, max_depth=max_depth, seed=seed,
+            impl=impl, binning=binning)
+        train_y = workload["train_labels"]
+    else:
+        model = GradientBoostingRegressor(
+            n_estimators=n_estimators, max_depth=max_depth, seed=seed,
+            impl=impl, binning=binning)
+        train_y = workload["train_y"]
+
+    started = time.perf_counter()
+    model.fit(workload["train_x"], train_y)
+    fit_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    predictions = model.predict(workload["predict_x"])
+    predict_seconds = time.perf_counter() - started
+
+    if task == "recommendation":
+        metric_name = "accuracy"
+        metric_value = accuracy(workload["predict_labels"], predictions)
+    else:
+        metric_name = "mae"
+        metric_value = mae(workload["predict_y"], predictions)
+
+    return {
+        "task": task,
+        "n_estimators": n_estimators,
+        "impl": impl_label,
+        "fit_seconds": fit_seconds,
+        "predict_seconds": predict_seconds,
+        "fits_per_s": 1.0 / fit_seconds,
+        "rows_per_s_predicted": len(predictions) / predict_seconds,
+        "metric": metric_name,
+        "metric_value": metric_value,
+        "peak_rss_mb": peak_rss_mb(),
+        "rss_end_mb": current_rss_mb(),
+    }
+
+
+def flatten_metrics(table, prefix=""):
+    """Flatten a nested table-runner result into {dotted.key: float}."""
+    flat = {}
+    for key, value in table.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            flat.update(flatten_metrics(value, path))
+        else:
+            flat[path] = float(value)
+    return flat
+
+
+def check_table_runner_equivalence(tolerance=1e-9):
+    """run_table3_overall / run_table4_recommendation, reference vs
+    vectorized engine on exact splits: every metric equal within tolerance.
+    """
+    from repro.evaluation.experiment import HarnessConfig
+    from repro.evaluation.harness import run_table3_overall, run_table4_recommendation
+
+    config = HarnessConfig()
+    runners = (
+        ("run_table3_overall",
+         lambda impl: run_table3_overall(
+             config, methods=("Node2vec",), include_supervised=False,
+             include_edge_sum=False, impl=impl, binning="exact")),
+        ("run_table4_recommendation",
+         lambda impl: run_table4_recommendation(
+             config, methods=("Node2vec",), impl=impl, binning="exact")),
+    )
+    failures = []
+    for name, runner in runners:
+        reference = flatten_metrics(runner("reference"))
+        vectorized = flatten_metrics(runner("vectorized"))
+        if set(reference) != set(vectorized):
+            failures.append(f"{name}: metric keys differ")
+            continue
+        for key in sorted(reference):
+            difference = abs(reference[key] - vectorized[key])
+            if not difference <= tolerance:
+                failures.append(f"{name}: {key} differs by {difference:.3e}")
+        print(f"  {name}: {len(reference)} metrics equivalent within {tolerance:g}")
+    return failures
+
+
+def format_table(rows):
+    header = (f"{'task':>15} {'n_est':>6} {'impl':>10} {'fit s':>8} "
+              f"{'pred s':>8} {'rows/s':>11} {'metric':>10} {'rss MB':>8} {'speedup':>8}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        speedup = f"{row['speedup']:.2f}x" if row.get("speedup") else "(base)"
+        lines.append(
+            f"{row['task']:>15} {row['n_estimators']:>6} {row['impl']:>10} "
+            f"{row['fit_seconds']:>8.3f} {row['predict_seconds']:>8.3f} "
+            f"{row['rows_per_s_predicted']:>11.0f} {row['metric_value']:>10.4f} "
+            f"{row['rss_end_mb']:>8.1f} {speedup:>8}")
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced grid and row count (CI smoke)")
+    parser.add_argument("--rows", type=int, default=None,
+                        help="training rows per configuration")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the run-table JSON here (stdout otherwise)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero unless histogram fit+predict reaches "
+                             "5x the reference at every n_estimators >= 40 and "
+                             "the table runners are engine-equivalent to 1e-9")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    rows_train = args.rows or (400 if args.smoke else 2500)
+    rows_predict = rows_train * 2
+    num_features = 16
+    estimator_grid = [10] if args.smoke else [10, 40]
+    tasks = ["travel_time", "recommendation"] if args.smoke else \
+        ["travel_time", "ranking", "recommendation"]
+
+    print(f"building workload ({rows_train} train rows, {rows_predict} predict "
+          f"rows, {num_features} features)...", flush=True)
+    workload = build_workload(rows_train, rows_predict, num_features, seed=args.seed)
+
+    rows = []
+    baselines = {}
+    for task in tasks:
+        for n_estimators in estimator_grid:
+            for impl_label in IMPLS:
+                row = run_configuration(workload, task, n_estimators, impl_label,
+                                        seed=args.seed)
+                total = row["fit_seconds"] + row["predict_seconds"]
+                if impl_label == "reference":
+                    baselines[(task, n_estimators)] = total
+                    row["speedup"] = None
+                else:
+                    row["speedup"] = baselines[(task, n_estimators)] / total
+                rows.append(row)
+                shown = f"{row['speedup']:.2f}x" if row["speedup"] else "baseline"
+                print(f"  {task:>15} n_est={n_estimators:<3} {impl_label:<10} "
+                      f"-> fit {row['fit_seconds']:6.3f}s "
+                      f"predict {row['predict_seconds']:6.3f}s ({shown})", flush=True)
+
+    table = {
+        "schema": "downstream-throughput-run-table/v1",
+        "workload": {
+            "rows_train": rows_train,
+            "rows_predict": rows_predict,
+            "num_features": num_features,
+            "max_depth": 3,
+        },
+        "rows": rows,
+    }
+
+    print()
+    print(format_table(rows))
+
+    if args.out is not None:
+        args.out.write_text(json.dumps(table, indent=2))
+        print(f"run table written to {args.out}")
+    else:
+        print(json.dumps(table, indent=2))
+
+    failures = []
+    gated = [row for row in rows
+             if row["impl"] == "histogram" and row["n_estimators"] >= 40]
+    for row in gated:
+        if row["speedup"] < 5.0:
+            failures.append(
+                f"histogram {row['task']} n_est={row['n_estimators']} reached "
+                f"only {row['speedup']:.2f}x (expected >= 5x)")
+    if gated:
+        worst = min(gated, key=lambda row: row["speedup"])
+        print(f"\nworst gated histogram row: {worst['task']} "
+              f"n_est={worst['n_estimators']} -> {worst['speedup']:.2f}x "
+              f"over the loop reference")
+
+    if args.check:
+        if rows_train < 2000 or not gated:
+            print("ERROR: --check needs >= 2000 training rows and an "
+                  "n_estimators >= 40 grid (do not combine with --smoke/--rows "
+                  "below 2000)", file=sys.stderr)
+            return 1
+        print("\nchecking table-runner engine equivalence "
+              "(reference vs vectorized, exact splits)...", flush=True)
+        failures.extend(check_table_runner_equivalence())
+
+    for failure in failures:
+        print(f"WARNING: {failure}", file=sys.stderr)
+    if args.check and failures:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -65,7 +65,15 @@ def train_experts(network, meta_sets, config, resources=None, weak_labeler=None,
 
     Each expert starts from a different random initialisation (seeded by its
     meta-set index) and sees only its own meta-set, per the paper.
+
+    A ``weak_labeler`` is required whenever any meta-set holds samples:
+    without one the experts would silently stay at their random
+    initialisation and the difficulty scores downstream would be noise.
     """
+    if weak_labeler is None and any(meta_sets):
+        raise ValueError(
+            "train_experts needs a weak_labeler when meta-sets are non-empty; "
+            "untrained experts would yield meaningless difficulty scores")
     experts = []
     for set_index, meta_set in enumerate(meta_sets):
         expert = WSCModel(
@@ -73,7 +81,7 @@ def train_experts(network, meta_sets, config, resources=None, weak_labeler=None,
             seed=config.seed + 100 + set_index,
         )
         trainer = WSCTrainer(expert, config=config, seed=config.seed + set_index)
-        if meta_set and weak_labeler is not None:
+        if meta_set:
             trainer.fit_on_samples(
                 meta_set, weak_labeler,
                 epochs=config.expert_epochs,
@@ -138,18 +146,28 @@ def build_curriculum_stages(samples, scores, num_stages, rng=None):
     Samples are sorted easiest-first (descending score) and distributed
     evenly; samples within each stage are shuffled "to ensure some local
     variations" as the paper puts it.
+
+    When ``num_stages`` exceeds the sample count, the stages are merged down
+    to one per sample instead of emitting empty stages (which would reach
+    ``WSCTrainer.fit_on_samples`` as no-op epochs and silently skew the
+    curriculum's stage count).
     """
     if num_stages < 1:
         raise ValueError("num_stages must be >= 1")
+    samples = list(samples)
+    scores = np.asarray(scores)
+    if len(samples) != len(scores):
+        raise ValueError("samples and scores must have the same length")
     rng = rng or np.random.default_rng(0)
-    order = np.argsort(-np.asarray(scores), kind="stable")
-    stage_indices = np.array_split(order, num_stages)
+    order = np.argsort(-scores, kind="stable")
+    effective_stages = min(num_stages, len(samples))
     stages = []
-    for indices in stage_indices:
-        indices = indices.copy()
-        rng.shuffle(indices)
-        stages.append([samples[i] for i in indices])
-    return CurriculumPlan(stages=stages, final_stage=list(samples), scores=np.asarray(scores))
+    if effective_stages:
+        for indices in np.array_split(order, effective_stages):
+            indices = indices.copy()
+            rng.shuffle(indices)
+            stages.append([samples[i] for i in indices])
+    return CurriculumPlan(stages=stages, final_stage=samples, scores=scores)
 
 
 def heuristic_curriculum_stages(samples, num_stages, rng=None):

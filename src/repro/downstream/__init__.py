@@ -20,10 +20,11 @@ from .tasks import (
     evaluate_recommendation,
     evaluate_travel_time,
 )
-from .tree import DecisionTreeRegressor
+from .tree import DecisionTreeRegressor, HistogramBins
 
 __all__ = [
     "DecisionTreeRegressor",
+    "HistogramBins",
     "GradientBoostingRegressor",
     "GradientBoostingClassifier",
     "mae",

@@ -3,13 +3,21 @@
 These mirror the scikit-learn estimators the paper uses as its downstream
 models on top of frozen TPRs (§VII-A4): squared-error boosting for the two
 regression tasks, logistic boosting for path recommendation.
+
+The ``impl`` / ``binning`` knobs thread straight through to the
+:class:`~repro.downstream.tree.DecisionTreeRegressor` weak learners.  The
+fit loop predicts the full training set every round, so the flattened-tree
+batch ``predict`` compounds ×``n_estimators``; with
+``binning="histogram"`` the feature matrix is additionally quantile-binned
+*once per boosting run* (see :class:`~repro.downstream.tree.HistogramBins`)
+and shared by every round's tree.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .tree import DecisionTreeRegressor
+from .tree import DecisionTreeRegressor, HistogramBins
 
 __all__ = ["GradientBoostingRegressor", "GradientBoostingClassifier"]
 
@@ -18,19 +26,54 @@ class GradientBoostingRegressor:
     """Least-squares gradient boosting over shallow regression trees."""
 
     def __init__(self, n_estimators=50, learning_rate=0.1, max_depth=3,
-                 min_samples_leaf=5, subsample=1.0, seed=0):
+                 min_samples_leaf=5, subsample=1.0, seed=0,
+                 impl="vectorized", binning="exact", max_bins=64):
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
         if not 0.0 < subsample <= 1.0:
             raise ValueError("subsample must be in (0, 1]")
+        if impl not in ("vectorized", "reference"):
+            raise ValueError(f"unknown impl {impl!r}")
+        if binning not in ("exact", "histogram"):
+            raise ValueError(f"unknown binning {binning!r}")
+        if impl == "reference" and binning != "exact":
+            raise ValueError("impl='reference' only supports binning='exact'; "
+                             "the loop oracle has no histogram path")
         self.n_estimators = n_estimators
         self.learning_rate = learning_rate
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
         self.subsample = subsample
+        self.impl = impl
+        self.binning = binning
+        self.max_bins = max_bins
         self.rng = np.random.default_rng(seed)
         self._trees = []
         self._initial = 0.0
+
+    def _make_tree(self):
+        return DecisionTreeRegressor(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            seed=int(self.rng.integers(0, 2 ** 31 - 1)),
+            impl=self.impl,
+            binning=self.binning,
+            max_bins=self.max_bins,
+        )
+
+    def _prebin(self, features):
+        """One histogram-binning pass shared by every boosting round."""
+        if self.impl == "vectorized" and self.binning == "histogram":
+            return HistogramBins(features, max_bins=self.max_bins)
+        return None
+
+    def _fit_tree(self, tree, features, residuals, rows, binned):
+        if binned is None:
+            tree.fit(features[rows], residuals[rows])
+        elif len(rows) == len(features):
+            tree.fit(features, residuals, binned=binned)
+        else:
+            tree.fit(features[rows], residuals[rows], binned=binned.take(rows))
 
     def fit(self, features, targets):
         """Fit to ``features`` (N, D), ``targets`` (N,)."""
@@ -42,16 +85,13 @@ class GradientBoostingRegressor:
         self._trees = []
         self._initial = float(targets.mean())
         predictions = np.full(len(targets), self._initial)
+        binned = self._prebin(features)
 
         for round_index in range(self.n_estimators):
             residuals = targets - predictions
             rows = self._sample_rows(len(targets))
-            tree = DecisionTreeRegressor(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                seed=int(self.rng.integers(0, 2 ** 31 - 1)),
-            )
-            tree.fit(features[rows], residuals[rows])
+            tree = self._make_tree()
+            self._fit_tree(tree, features, residuals, rows, binned)
             update = tree.predict(features)
             predictions = predictions + self.learning_rate * update
             self._trees.append(tree)
@@ -76,7 +116,8 @@ class GradientBoostingClassifier:
     """Binary classifier: boosting on the logistic deviance gradient."""
 
     def __init__(self, n_estimators=50, learning_rate=0.1, max_depth=3,
-                 min_samples_leaf=5, subsample=1.0, seed=0):
+                 min_samples_leaf=5, subsample=1.0, seed=0,
+                 impl="vectorized", binning="exact", max_bins=64):
         self._booster = GradientBoostingRegressor(
             n_estimators=n_estimators,
             learning_rate=learning_rate,
@@ -84,6 +125,9 @@ class GradientBoostingClassifier:
             min_samples_leaf=min_samples_leaf,
             subsample=subsample,
             seed=seed,
+            impl=impl,
+            binning=binning,
+            max_bins=max_bins,
         )
         self.n_estimators = n_estimators
         self.learning_rate = learning_rate
@@ -105,16 +149,13 @@ class GradientBoostingClassifier:
         self._trees = []
 
         booster = self._booster
+        binned = booster._prebin(features)
         for _ in range(self.n_estimators):
             probabilities = _sigmoid(logits)
             residuals = labels - probabilities
             rows = booster._sample_rows(len(labels))
-            tree = DecisionTreeRegressor(
-                max_depth=booster.max_depth,
-                min_samples_leaf=booster.min_samples_leaf,
-                seed=int(booster.rng.integers(0, 2 ** 31 - 1)),
-            )
-            tree.fit(features[rows], residuals[rows])
+            tree = booster._make_tree()
+            booster._fit_tree(tree, features, residuals, rows, binned)
             logits = logits + self.learning_rate * tree.predict(features)
             self._trees.append(tree)
         return self

@@ -59,13 +59,16 @@ __all__ = [
 # Shared evaluation helpers
 # ----------------------------------------------------------------------
 def representation_task_results(model, city, config, tasks=("travel_time", "ranking"),
-                                serving=True):
+                                serving=True, impl="vectorized", binning="exact"):
     """GBR/GBC evaluation of a frozen representation model on selected tasks.
 
     Embeddings are obtained through one shared
     :class:`~repro.serving.PathEmbeddingService` per model, so paths that
     recur across the selected tasks hit the embedding cache instead of being
     re-encoded; ``serving=False`` evaluates the raw model directly.
+
+    ``impl`` / ``binning`` pick the downstream GBM engine (vectorized exact
+    by default, which matches the reference loops bit-for-bit).
     """
     model = ensure_service(model, serving=serving)
     results = {}
@@ -73,16 +76,19 @@ def representation_task_results(model, city, config, tasks=("travel_time", "rank
         results["travel_time"] = evaluate_travel_time(
             model, city.tasks.travel_time, test_fraction=config.test_fraction,
             seed=config.seed, n_estimators=config.n_estimators, serving=serving,
+            impl=impl, binning=binning,
         ).as_row()
     if "ranking" in tasks:
         results["ranking"] = evaluate_ranking(
             model, city.tasks.ranking, test_fraction=config.test_fraction,
             seed=config.seed, n_estimators=config.n_estimators, serving=serving,
+            impl=impl, binning=binning,
         ).as_row()
     if "recommendation" in tasks:
         results["recommendation"] = evaluate_recommendation(
             model, city.tasks.recommendation, test_fraction=config.test_fraction,
             seed=config.seed, n_estimators=config.n_estimators, serving=serving,
+            impl=impl, binning=binning,
         ).as_row()
     return results
 
@@ -134,8 +140,14 @@ def run_table2_dataset_statistics(config, cities=("aalborg", "harbin", "chengdu"
 # Table III — overall accuracy (travel time + ranking)
 # ----------------------------------------------------------------------
 def run_table3_overall(config, cities=("aalborg",), methods=None,
-                       include_supervised=True, include_edge_sum=True):
-    """Travel-time and ranking results for WSCCL and the baselines."""
+                       include_supervised=True, include_edge_sum=True,
+                       impl="vectorized", binning="exact"):
+    """Travel-time and ranking results for WSCCL and the baselines.
+
+    ``impl`` / ``binning`` select the downstream GBM engine; every fit in
+    the runner is seeded, so rerunning with ``impl="reference"`` reproduces
+    the same table (the benchmark gate asserts this to 1e-9).
+    """
     methods = methods or UNSUPERVISED_BASELINES
     results = {}
     for city_name in cities:
@@ -144,7 +156,8 @@ def run_table3_overall(config, cities=("aalborg",), methods=None,
 
         for name in methods:
             model = fit_unsupervised_baseline(name, city, config)
-            city_rows[name] = representation_task_results(model, city, config)
+            city_rows[name] = representation_task_results(
+                model, city, config, impl=impl, binning=binning)
 
         if include_supervised:
             for name in SUPERVISED_BASELINES:
@@ -162,7 +175,8 @@ def run_table3_overall(config, cities=("aalborg",), methods=None,
                 }
 
         wsccl = fit_wsccl(city, config, variant="full")
-        city_rows["WSCCL"] = representation_task_results(wsccl, city, config)
+        city_rows["WSCCL"] = representation_task_results(
+            wsccl, city, config, impl=impl, binning=binning)
         results[city_name] = city_rows
     return results
 
@@ -170,7 +184,8 @@ def run_table3_overall(config, cities=("aalborg",), methods=None,
 # ----------------------------------------------------------------------
 # Table IV — path recommendation
 # ----------------------------------------------------------------------
-def run_table4_recommendation(config, cities=("aalborg",), methods=None):
+def run_table4_recommendation(config, cities=("aalborg",), methods=None,
+                              impl="vectorized", binning="exact"):
     """Path recommendation accuracy / hit rate for WSCCL and baselines."""
     methods = methods or UNSUPERVISED_BASELINES
     results = {}
@@ -180,10 +195,12 @@ def run_table4_recommendation(config, cities=("aalborg",), methods=None):
         for name in methods:
             model = fit_unsupervised_baseline(name, city, config)
             city_rows[name] = representation_task_results(
-                model, city, config, tasks=("recommendation",))["recommendation"]
+                model, city, config, tasks=("recommendation",),
+                impl=impl, binning=binning)["recommendation"]
         wsccl = fit_wsccl(city, config, variant="full")
         city_rows["WSCCL"] = representation_task_results(
-            wsccl, city, config, tasks=("recommendation",))["recommendation"]
+            wsccl, city, config, tasks=("recommendation",),
+            impl=impl, binning=binning)["recommendation"]
         results[city_name] = city_rows
     return results
 

@@ -122,3 +122,45 @@ class TestCurriculumStages:
         first_lengths = [len(tp) for tp, _ in plan.stages[0]]
         last_lengths = [len(tp) for tp, _ in plan.stages[-1]]
         assert max(first_lengths) <= min(last_lengths) + 1
+
+    def test_more_stages_than_samples_emits_no_empty_stages(self, samples):
+        # Regression: num_stages > len(samples) used to produce empty stages
+        # that reached WSCTrainer.fit_on_samples as no-op epochs.
+        few = samples[:3]
+        plan = build_curriculum_stages(few, np.arange(3, dtype=float), num_stages=10)
+        assert plan.num_stages == 3
+        assert all(len(stage) >= 1 for stage in plan.stages)
+        assert sum(len(stage) for stage in plan.stages) == 3
+        assert len(plan.final_stage) == 3
+
+    def test_empty_samples_give_empty_plan(self):
+        plan = build_curriculum_stages([], np.array([]), num_stages=4)
+        assert plan.stages == []
+        assert plan.final_stage == []
+
+    def test_scores_length_mismatch_rejected(self, samples):
+        with pytest.raises(ValueError):
+            build_curriculum_stages(samples[:4], np.zeros(3), num_stages=2)
+
+    def test_heuristic_more_stages_than_samples(self, samples):
+        plan = heuristic_curriculum_stages(samples[:2], num_stages=5)
+        assert plan.num_stages == 2
+        assert all(len(stage) == 1 for stage in plan.stages)
+
+
+class TestTrainExpertsValidation:
+    def test_none_labeler_with_samples_rejected(self, tiny_city, tiny_config,
+                                                shared_resources, samples):
+        # Regression: a None weak_labeler used to silently return untrained
+        # experts, making the downstream difficulty scores pure noise.
+        meta_sets, _ = split_into_meta_sets(samples, tiny_config.num_meta_sets)
+        with pytest.raises(ValueError):
+            train_experts(tiny_city.network, meta_sets, tiny_config,
+                          resources=shared_resources, weak_labeler=None)
+
+    def test_none_labeler_with_all_empty_meta_sets_allowed(self, tiny_city,
+                                                           tiny_config,
+                                                           shared_resources):
+        experts = train_experts(tiny_city.network, [[], []], tiny_config,
+                                resources=shared_resources, weak_labeler=None)
+        assert len(experts) == 2

@@ -71,6 +71,36 @@ class TestRankCorrelations:
         assert kendall_tau([1.0], [1.0]) == 0.0
         assert spearman_rho([1.0], [1.0]) == 0.0
 
+    def test_spearman_tie_handling_is_pearson_on_ranks(self):
+        # Regression: the historical 1 - 6*sum(d^2)/(n*(n^2-1)) shortcut is
+        # only valid without ties; it returned 0.85 here.  Pearson on the
+        # average ranks (scipy's definition) gives 5/6.
+        truth = [1, 1, 2, 3]
+        prediction = [1, 2, 2, 3]
+        expected = stats.spearmanr(truth, prediction).correlation
+        assert expected == pytest.approx(5.0 / 6.0)
+        assert spearman_rho(truth, prediction) == pytest.approx(expected, abs=1e-12)
+        assert spearman_rho(truth, prediction) != pytest.approx(0.85, abs=1e-6)
+
+    def test_spearman_matches_scipy_under_heavy_ties(self, rng):
+        truth = rng.integers(0, 3, size=25).astype(float)
+        prediction = rng.integers(0, 3, size=25).astype(float)
+        expected = stats.spearmanr(truth, prediction).correlation
+        assert spearman_rho(truth, prediction) == pytest.approx(expected, abs=1e-12)
+
+    def test_spearman_constant_input_returns_zero(self):
+        # Correlation is undefined for constant inputs (scipy returns NaN);
+        # the harness convention is 0.0, never NaN.
+        assert spearman_rho([2.0, 2.0, 2.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_kendall_ties_match_pair_counting(self):
+        from repro.downstream.metrics import _reference_kendall_tau
+
+        truth = [1, 1, 2, 3]
+        prediction = [1, 2, 2, 3]
+        assert kendall_tau(truth, prediction) == \
+            _reference_kendall_tau(truth, prediction)
+
     def test_grouped_rank_correlation_averages_groups(self):
         truth = [1, 2, 3, 3, 2, 1]
         prediction = [1, 2, 3, 1, 2, 3]   # group 0 perfect, group 1 reversed
@@ -81,6 +111,36 @@ class TestRankCorrelations:
     def test_grouped_skips_singleton_groups(self):
         value = grouped_rank_correlation([1, 2, 3], [1, 2, 3], [0, 0, 1], "spearman")
         assert value == pytest.approx(1.0)
+
+    def test_grouped_single_group(self):
+        truth = [1.0, 2.0, 3.0, 4.0]
+        prediction = [1.0, 3.0, 2.0, 4.0]
+        groups = [7, 7, 7, 7]
+        assert grouped_rank_correlation(truth, prediction, groups, "kendall") == \
+            pytest.approx(kendall_tau(truth, prediction))
+        assert grouped_rank_correlation(truth, prediction, groups, "spearman") == \
+            pytest.approx(spearman_rho(truth, prediction))
+
+    def test_grouped_tie_heavy_groups(self, rng):
+        truth = rng.integers(0, 2, size=40).astype(float)
+        prediction = rng.integers(0, 2, size=40).astype(float)
+        groups = rng.integers(0, 5, size=40)
+        expected = np.mean([
+            kendall_tau(truth[groups == g], prediction[groups == g])
+            for g in np.unique(groups) if (groups == g).sum() >= 2])
+        value = grouped_rank_correlation(truth, prediction, groups, "kendall")
+        assert value == pytest.approx(float(expected), abs=1e-12)
+
+    def test_grouped_all_singletons_returns_zero(self):
+        assert grouped_rank_correlation([1, 2], [2, 1], [0, 1]) == 0.0
+
+    def test_grouped_rejects_unknown_statistic(self):
+        with pytest.raises(ValueError):
+            grouped_rank_correlation([1, 2], [1, 2], [0, 0], "pearson")
+
+    def test_grouped_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            grouped_rank_correlation([1, 2, 3], [1, 2, 3], [0, 0])
 
 
 class TestClassificationMetrics:
@@ -98,3 +158,19 @@ class TestClassificationMetrics:
     def test_accuracy_rejects_empty(self):
         with pytest.raises(ValueError):
             accuracy([], [])
+
+    def test_accuracy_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1, 0, 1], [1, 0])
+
+    def test_hit_rate_rejects_shape_mismatch(self):
+        # Regression: mismatched lengths used to raise an opaque IndexError
+        # or silently broadcast instead of the regression metrics' ValueError.
+        with pytest.raises(ValueError):
+            hit_rate([1, 0, 1], [1, 0])
+        with pytest.raises(ValueError):
+            hit_rate([1, 0, 1], [1])
+
+    def test_hit_rate_rejects_empty(self):
+        with pytest.raises(ValueError):
+            hit_rate([], [])

@@ -62,6 +62,49 @@ class TestDecisionTree:
         deep = DecisionTreeRegressor(max_depth=5).fit(x, y).predict(x)
         assert np.abs(deep - y).mean() <= np.abs(shallow - y).mean()
 
+    def test_engine_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(impl="numba")
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(binning="kmeans")
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_bins=1)
+        # The loop oracle has no histogram path; don't silently run exact.
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(impl="reference", binning="histogram")
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(impl="reference", binning="histogram")
+
+    def test_thresholds_are_deduplicated(self):
+        # Regression: midpoints of near-adjacent unique values can round
+        # onto each other in float arithmetic, so the same candidate
+        # threshold was scanned twice per node.
+        tree = DecisionTreeRegressor(max_thresholds=16)
+        base = 1.0
+        ulps = [base]
+        for _ in range(6):
+            ulps.append(np.nextafter(ulps[-1], 2.0))
+        column = np.array(ulps + [2.0, 3.0])
+        thresholds = tree._thresholds(column)
+        assert thresholds is not None
+        assert len(thresholds) == len(np.unique(thresholds))
+        assert (np.diff(thresholds) > 0).all()
+        # A column wide enough to trigger linspace subsampling still dedupes.
+        wide = np.arange(40.0)
+        thresholds = tree._thresholds(wide)
+        assert len(thresholds) <= 16
+        assert len(thresholds) == len(np.unique(thresholds))
+
+    def test_histogram_binning_learns_step_function(self, rng):
+        x, y = regression_problem(rng, samples=500, noise=0.0)
+        tree = DecisionTreeRegressor(max_depth=3, min_samples_leaf=2,
+                                     binning="histogram").fit(x, y)
+        assert np.abs(tree.predict(x) - y).mean() < 0.5
+
+    def test_reference_impl_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor(impl="reference").predict(np.ones((2, 2)))
+
 
 class TestGradientBoostingRegressor:
     def test_parameter_validation(self):
