@@ -1,8 +1,20 @@
 """Skip-gram with negative sampling (SGNS) over random-walk corpora.
 
-This is the word2vec-style objective node2vec optimises.  The implementation
-is vectorised numpy (no autograd needed — the SGNS gradient has a closed
-form), which keeps embedding the 2016-node temporal graph fast.
+This is the word2vec-style objective node2vec optimises.  The SGD update was
+always vectorised numpy (the SGNS gradient has a closed form); the corpus
+extraction now is too:
+
+* ``impl="reference"`` — (center, context) pairs via the original nested
+  Python loops (:meth:`SkipGramTrainer._pairs_from_walk`) and a per-node
+  counting loop for the noise distribution.
+* ``impl="vectorized"`` (default) — strided context windows over a padded
+  walk matrix, emitting pairs in *exactly* the reference order, plus a single
+  batched ``np.bincount`` for the noise distribution.  Because the pair array
+  and noise distribution are bit-identical, training consumes the RNG
+  identically and the final embeddings match the reference bit for bit.
+
+The learning rate decays linearly over the planned updates down to a floor
+of ``lr / 10_000``, as in word2vec; disable with ``lr_decay=False``.
 """
 
 from __future__ import annotations
@@ -10,6 +22,12 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["SkipGramTrainer"]
+
+_IMPLS = ("reference", "vectorized")
+
+#: Word2vec's learning-rate floor: the linear decay never goes below
+#: ``lr * _MIN_LR_FRACTION``.
+_MIN_LR_FRACTION = 1e-4
 
 
 def _sigmoid(x):
@@ -30,18 +48,28 @@ class SkipGramTrainer:
     negatives:
         Number of negative samples per positive pair.
     lr:
-        SGD learning rate.
+        Initial SGD learning rate (decays linearly when ``lr_decay``).
+    lr_decay:
+        Word2vec-style linear decay of the learning rate over the planned
+        updates of a :meth:`train` call, floored at ``lr / 10_000``.
+    impl:
+        ``"vectorized"`` (default) or ``"reference"`` corpus extraction; the
+        two produce bit-identical embeddings.
     """
 
     def __init__(self, num_nodes, dim, window=5, negatives=5, lr=0.025, seed=0,
-                 batch_size=512):
+                 batch_size=512, lr_decay=True, impl="vectorized"):
         if dim < 1:
             raise ValueError("dim must be >= 1")
+        if impl not in _IMPLS:
+            raise ValueError(f"impl must be one of {_IMPLS}, got {impl!r}")
         self.num_nodes = num_nodes
         self.dim = dim
         self.window = window
         self.negatives = negatives
         self.lr = lr
+        self.lr_decay = lr_decay
+        self.impl = impl
         self.batch_size = batch_size
         self.rng = np.random.default_rng(seed)
         scale = 0.5 / dim
@@ -49,8 +77,10 @@ class SkipGramTrainer:
         self.out_embeddings = np.zeros((num_nodes, dim))
 
     # ------------------------------------------------------------------
+    # Corpus extraction
+    # ------------------------------------------------------------------
     def _pairs_from_walk(self, walk):
-        """(center, context) pairs within the window along a walk."""
+        """(center, context) pairs within the window along a walk (reference)."""
         pairs = []
         for index, center in enumerate(walk):
             low = max(0, index - self.window)
@@ -60,39 +90,103 @@ class SkipGramTrainer:
                     pairs.append((center, walk[context_index]))
         return pairs
 
-    def _noise_distribution(self, walks):
-        counts = np.zeros(self.num_nodes)
+    def _reference_pairs(self, walks):
+        """All pairs of the corpus via the per-walk loops, as an (P, 2) array."""
+        pairs = []
         for walk in walks:
-            for node in walk:
-                counts[node] += 1
+            pairs.extend(self._pairs_from_walk(walk))
+        return np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+
+    def _vectorized_pairs(self, walks):
+        """All pairs of the corpus in reference order, via strided windows.
+
+        Walks are padded into one ``(num_walks, max_len)`` matrix; every
+        window offset is one shifted view of that matrix.  Offsets are
+        stacked in increasing order, so flattening row-major reproduces the
+        reference enumeration exactly: walk by walk, center by center,
+        contexts left-to-right.
+        """
+        num_walks = len(walks)
+        lengths = np.fromiter((len(walk) for walk in walks), dtype=np.int64,
+                              count=num_walks)
+        if num_walks == 0 or lengths.max(initial=0) == 0:
+            return np.zeros((0, 2), dtype=np.int64)
+        max_len = int(lengths.max())
+        padded = np.full((num_walks, max_len), -1, dtype=np.int64)
+        for row, walk in enumerate(walks):
+            padded[row, :len(walk)] = walk
+
+        offsets = [d for d in range(-self.window, self.window + 1) if d != 0]
+        contexts = np.full((num_walks, max_len, len(offsets)), -1, dtype=np.int64)
+        for slot, offset in enumerate(offsets):
+            width = max_len - abs(offset)
+            if width <= 0:  # window wider than the longest walk
+                continue
+            if offset < 0:
+                contexts[:, -offset:, slot] = padded[:, :width]
+            else:
+                contexts[:, :width, slot] = padded[:, offset:]
+        centers = np.broadcast_to(padded[:, :, None], contexts.shape)
+        valid = (contexts >= 0) & (centers >= 0)
+        return np.stack((centers[valid], contexts[valid]), axis=1)
+
+    def _noise_distribution(self, walks):
+        """Unigram^0.75 noise distribution over the corpus."""
+        if self.impl == "vectorized":
+            counts = self._vectorized_noise_counts(walks)
+        else:
+            counts = self._reference_noise_counts(walks)
         counts = np.power(counts, 0.75)
         total = counts.sum()
         if total == 0:
             return np.full(self.num_nodes, 1.0 / self.num_nodes)
         return counts / total
 
+    def _reference_noise_counts(self, walks):
+        counts = np.zeros(self.num_nodes)
+        for walk in walks:
+            for node in walk:
+                counts[node] += 1
+        return counts
+
+    def _vectorized_noise_counts(self, walks):
+        if not walks:
+            return np.zeros(self.num_nodes)
+        nodes = np.concatenate([np.asarray(walk, dtype=np.int64) for walk in walks])
+        return np.bincount(nodes, minlength=self.num_nodes).astype(np.float64)
+
     # ------------------------------------------------------------------
     def train(self, walks, epochs=1):
         """Run SGNS over the walk corpus for ``epochs`` passes."""
         noise = self._noise_distribution(walks)
-        pairs = []
-        for walk in walks:
-            pairs.extend(self._pairs_from_walk(walk))
-        if not pairs:
+        if self.impl == "vectorized":
+            pairs = self._vectorized_pairs(walks)
+        else:
+            pairs = self._reference_pairs(walks)
+        if pairs.shape[0] == 0:
             return self.in_embeddings
-        pairs = np.asarray(pairs, dtype=np.int64)
 
+        batches_per_epoch = -(-len(pairs) // self.batch_size)
+        total_batches = max(1, epochs * batches_per_epoch)
+        completed = 0
         for _ in range(epochs):
             self.rng.shuffle(pairs)
             negatives = self.rng.choice(
                 self.num_nodes, size=(len(pairs), self.negatives), p=noise
             )
             for start in range(0, len(pairs), self.batch_size):
+                if self.lr_decay:
+                    step_lr = max(self.lr * (1.0 - completed / total_batches),
+                                  self.lr * _MIN_LR_FRACTION)
+                else:
+                    step_lr = self.lr
                 chunk = slice(start, start + self.batch_size)
-                self._update_batch(pairs[chunk, 0], pairs[chunk, 1], negatives[chunk])
+                self._update_batch(pairs[chunk, 0], pairs[chunk, 1],
+                                   negatives[chunk], step_lr)
+                completed += 1
         return self.in_embeddings
 
-    def _update_batch(self, centers, contexts, negative_nodes):
+    def _update_batch(self, centers, contexts, negative_nodes, lr):
         """Vectorised SGNS update for a batch of (center, context, negatives)."""
         center_vecs = self.in_embeddings[centers]                     # (B, D)
         targets = np.concatenate((contexts[:, None], negative_nodes), axis=1)  # (B, 1+K)
@@ -104,8 +198,8 @@ class SkipGramTrainer:
         grad_centers = np.einsum("bk,bkd->bd", errors, target_vecs)
         grad_targets = errors[:, :, None] * center_vecs[:, None, :]   # (B, 1+K, D)
         np.add.at(self.out_embeddings, targets.reshape(-1),
-                  self.lr * grad_targets.reshape(-1, self.dim))
-        np.add.at(self.in_embeddings, centers, self.lr * grad_centers)
+                  lr * grad_targets.reshape(-1, self.dim))
+        np.add.at(self.in_embeddings, centers, lr * grad_centers)
 
     # ------------------------------------------------------------------
     def embeddings(self):

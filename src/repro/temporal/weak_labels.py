@@ -90,10 +90,14 @@ class CongestionIndexLabeler(WeakLabeler):
     name = "tci"
 
     def __init__(self, congestion_profile, thresholds=(0.25, 0.5, 0.75)):
-        if list(thresholds) != sorted(thresholds) or len(thresholds) != 3:
-            raise ValueError("thresholds must be three increasing values")
+        thresholds = tuple(thresholds)
+        # Strictly increasing: duplicates such as (0.5, 0.5, 0.75) would
+        # silently make one of the four TCI labels unreachable.
+        if len(thresholds) != 3 or any(
+                right <= left for left, right in zip(thresholds, thresholds[1:])):
+            raise ValueError("thresholds must be three strictly increasing values")
         self.congestion_profile = congestion_profile
-        self.thresholds = tuple(thresholds)
+        self.thresholds = thresholds
 
     def label(self, departure_time):
         level = float(self.congestion_profile(departure_time))

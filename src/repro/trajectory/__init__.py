@@ -3,11 +3,12 @@
 from .gps import GPSPoint, GPSSampler, GPSTrajectory
 from .mapmatching import HMMMapMatcher
 from .simulator import Trip, TripSimulator
-from .speeds import CongestionProfile, SpeedModel
+from .speeds import DEFAULT_CONGESTION_SENSITIVITY, CongestionProfile, SpeedModel
 
 __all__ = [
     "CongestionProfile",
     "SpeedModel",
+    "DEFAULT_CONGESTION_SENSITIVITY",
     "Trip",
     "TripSimulator",
     "GPSPoint",

@@ -60,7 +60,10 @@ class TripSimulator:
 
     def __init__(self, network, speed_model=None, seed=0,
                  min_trip_edges=4, max_trip_edges=40, num_alternatives=3,
-                 route_choice_noise=0.1):
+                 route_choice_noise=0.1, impl="vectorized"):
+        if impl not in ("reference", "vectorized"):
+            raise ValueError(
+                f"impl must be 'reference' or 'vectorized', got {impl!r}")
         self.network = network
         self.speed_model = speed_model or SpeedModel(network, seed=seed)
         self.rng = np.random.default_rng(seed)
@@ -68,6 +71,7 @@ class TripSimulator:
         self.max_trip_edges = max_trip_edges
         self.num_alternatives = num_alternatives
         self.route_choice_noise = route_choice_noise
+        self.impl = impl
 
     # ------------------------------------------------------------------
     # Departure time sampling
@@ -92,27 +96,50 @@ class TripSimulator:
     # Origin / destination sampling
     # ------------------------------------------------------------------
     def _sample_od_pair(self):
-        """Sample an origin/destination with a plausible trip distance."""
+        """Sample an origin/destination with a plausible trip distance.
+
+        When no draw within the attempt budget satisfies the distance
+        heuristic, the last *distinct* pair is returned; a degenerate
+        ``origin == destination`` pair is never emitted (a RuntimeError is
+        raised if 50 draws produce only degenerate pairs, which requires a
+        near-single-node network).
+        """
+        fallback = None
         for _ in range(50):
             origin = int(self.rng.integers(0, self.network.num_nodes))
             destination = int(self.rng.integers(0, self.network.num_nodes))
             if origin == destination:
                 continue
+            fallback = (origin, destination)
             ox, oy = self.network.node_coordinates(origin)
             dx, dy = self.network.node_coordinates(destination)
             distance = float(np.hypot(dx - ox, dy - oy))
             mean_block = 250.0
             if self.min_trip_edges * mean_block * 0.5 <= distance:
                 return origin, destination
-        return origin, destination
+        if fallback is None:
+            raise RuntimeError(
+                "could not sample a distinct origin/destination pair in 50 "
+                f"attempts on a {self.network.num_nodes}-node network")
+        return fallback
 
     # ------------------------------------------------------------------
     # Route generation
     # ------------------------------------------------------------------
     def _candidate_routes(self, origin, destination, departure_time):
         """k candidate routes ranked by time-dependent cost at departure."""
-        def cost(edge):
-            return self.speed_model.edge_travel_time(edge, departure_time)
+        if self.impl == "vectorized":
+            # One vectorised evaluation of every edge's cost at the departure
+            # time; the search then reads from the table instead of paying a
+            # Python speed-model call per relaxed edge.  The table entries are
+            # bit-identical to edge_travel_time, so the routes are unchanged.
+            cost_vector = self.speed_model.edge_travel_time_vector(departure_time)
+
+            def cost(edge):
+                return float(cost_vector[edge])
+        else:
+            def cost(edge):
+                return self.speed_model.edge_travel_time(edge, departure_time)
 
         candidates = k_shortest_paths(
             self.network, origin, destination,
@@ -133,15 +160,21 @@ class TripSimulator:
 
         # Route choice: drivers mostly take the fastest route at departure,
         # with a small noise term representing preference heterogeneity.
-        costs = np.array([
-            self.speed_model.path_travel_time(path, departure_time)
-            for path in candidates
-        ])
+        if self.impl == "vectorized":
+            # All k candidates priced in lockstep (bit-identical to the loop).
+            costs = self.speed_model.path_travel_times(candidates, departure_time)
+        else:
+            costs = np.array([
+                self.speed_model.path_travel_time(path, departure_time)
+                for path in candidates
+            ])
         noisy = costs * (1.0 + self.rng.normal(0.0, self.route_choice_noise, size=len(costs)))
         chosen_index = int(np.argmin(noisy))
         chosen = candidates[chosen_index]
         alternatives = [c for i, c in enumerate(candidates) if i != chosen_index]
 
+        # The single chosen path is priced with per-edge noise draws in path
+        # order, keeping one RNG stream shared by both impls.
         travel_time = self.speed_model.path_travel_time(
             chosen, departure_time, rng=self.rng
         )

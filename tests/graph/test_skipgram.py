@@ -63,3 +63,49 @@ class TestSkipGramTrainer:
         copy = trainer.embeddings()
         copy[:] = 99.0
         assert not np.allclose(trainer.in_embeddings, 99.0)
+
+    def test_invalid_impl(self):
+        with pytest.raises(ValueError):
+            SkipGramTrainer(num_nodes=5, dim=2, impl="gpu")
+
+
+class TestLearningRateDecay:
+    def test_decay_changes_training_outcome(self):
+        walks = [[0, 1, 2, 3, 4, 5]] * 10
+        decayed = SkipGramTrainer(num_nodes=6, dim=4, seed=0, lr_decay=True)
+        constant = SkipGramTrainer(num_nodes=6, dim=4, seed=0, lr_decay=False)
+        assert not np.allclose(decayed.train(walks, epochs=2),
+                               constant.train(walks, epochs=2))
+
+    def test_decay_never_below_floor(self):
+        """Every applied step lr stays within [lr * 1e-4, lr]."""
+        trainer = SkipGramTrainer(num_nodes=6, dim=2, seed=0, batch_size=4,
+                                  lr=0.1, lr_decay=True)
+        applied = []
+        original = trainer._update_batch
+
+        def spy(centers, contexts, negatives, lr):
+            applied.append(lr)
+            return original(centers, contexts, negatives, lr)
+
+        trainer._update_batch = spy
+        trainer.train([[0, 1, 2, 3, 4, 5]] * 4, epochs=3)
+        assert applied, "no updates ran"
+        assert max(applied) <= 0.1
+        assert min(applied) >= 0.1 * 1e-4
+        # Linear decay: the schedule is non-increasing.
+        assert all(b <= a for a, b in zip(applied, applied[1:]))
+
+
+class TestFixedSeedPins:
+    """Pin the exact training output (both impls share one RNG stream)."""
+
+    @pytest.mark.parametrize("impl", ["reference", "vectorized"])
+    def test_training_output_pinned(self, impl):
+        trainer = SkipGramTrainer(num_nodes=6, dim=3, window=2, negatives=2,
+                                  seed=7, impl=impl)
+        embeddings = trainer.train([[0, 1, 2, 3], [3, 4, 5, 0]], epochs=1)
+        np.testing.assert_allclose(
+            embeddings[0], [0.0416984889, 0.1324046003, 0.0918952301], atol=1e-9)
+        np.testing.assert_allclose(
+            embeddings[5], [0.0178324507, 0.1651667611, 0.0975539731], atol=1e-9)

@@ -76,3 +76,33 @@ class TestCongestionIndexLabeler:
     def test_label_names(self, labeler):
         assert labeler.label_name(0) == "smooth"
         assert labeler.label_name(3) == "heavily-congested"
+
+
+class TestCongestionThresholdValidation:
+    """Thresholds must be strictly increasing: duplicates silently made one
+    of the four TCI labels unreachable before the fix."""
+
+    def _profile(self):
+        return lambda departure_time: 0.5
+
+    def test_duplicate_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            CongestionIndexLabeler(self._profile(), thresholds=(0.5, 0.5, 0.75))
+
+    def test_decreasing_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            CongestionIndexLabeler(self._profile(), thresholds=(0.75, 0.5, 0.25))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            CongestionIndexLabeler(self._profile(), thresholds=(0.25, 0.5))
+        with pytest.raises(ValueError):
+            CongestionIndexLabeler(self._profile(), thresholds=(0.1, 0.2, 0.3, 0.4))
+
+    def test_strictly_increasing_accepted_and_all_labels_reachable(self):
+        labeler = CongestionIndexLabeler(self._profile(),
+                                         thresholds=(0.2, 0.4, 0.6))
+        levels = {0.1: 0, 0.3: 1, 0.5: 2, 0.9: 3}
+        for level, expected in levels.items():
+            labeler.congestion_profile = lambda t, level=level: level
+            assert labeler.label(None) == expected

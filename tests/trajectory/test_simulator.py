@@ -57,6 +57,10 @@ class TestTripSimulator:
         correlation = np.corrcoef(lengths, times)[0, 1]
         assert correlation > 0.5
 
+    def test_invalid_impl(self, tiny_network):
+        with pytest.raises(ValueError):
+            TripSimulator(tiny_network, impl="turbo")
+
     def test_peak_travel_slower_for_fixed_od(self, tiny_network):
         """Same OD pair takes longer in the peak (what weak labels capture)."""
         simulator = TripSimulator(tiny_network,
@@ -71,3 +75,49 @@ class TestTripSimulator:
             origin=origin, destination=destination)
         assert peak is not None and night is not None
         assert peak.travel_time > night.travel_time
+
+
+class _ScriptedRNG:
+    """Stand-in rng whose ``integers`` draws pop from a scripted sequence."""
+
+    def __init__(self, values):
+        self._values = list(values)
+
+    def integers(self, low, high):
+        return self._values.pop(0)
+
+
+class TestSampleODPairRegression:
+    """The distance-heuristic fallback must never emit origin == destination."""
+
+    def test_degenerate_last_draw_falls_back_to_distinct_pair(self, tiny_network):
+        simulator = TripSimulator(tiny_network, seed=0, min_trip_edges=4,
+                                  max_trip_edges=40)
+        # 49 degenerate draws, then one distinct-but-too-close pair that fails
+        # the distance check, then... the budget is exhausted.  Before the
+        # fix the final degenerate draw leaked out whenever the 50th attempt
+        # sampled origin == destination.
+        script = [0, 0] * 48 + [0, 1] + [2, 2]
+        simulator.rng = _ScriptedRNG(script)
+        origin, destination = simulator._sample_od_pair()
+        assert (origin, destination) == (0, 1)
+
+    def test_all_degenerate_draws_raise(self, tiny_network):
+        simulator = TripSimulator(tiny_network, seed=0)
+        simulator.rng = _ScriptedRNG([3, 3] * 50)
+        with pytest.raises(RuntimeError):
+            simulator._sample_od_pair()
+
+    def test_last_draw_distinct_is_returned_as_before(self, tiny_network):
+        """Non-degenerate exhaustion keeps the pre-fix result (last draw)."""
+        simulator = TripSimulator(tiny_network, seed=0, min_trip_edges=100)
+        # Distance check can never pass (needs >= 100 * 125 m); all draws
+        # distinct, so the last one is returned.
+        simulator.rng = _ScriptedRNG([0, 1] * 49 + [2, 3])
+        assert simulator._sample_od_pair() == (2, 3)
+
+    def test_sampled_pairs_always_distinct(self, tiny_network):
+        simulator = TripSimulator(tiny_network, seed=123, min_trip_edges=2)
+        for _ in range(200):
+            origin, destination = simulator._sample_od_pair()
+            assert origin != destination

@@ -102,3 +102,45 @@ class TestSpeedModel:
     def test_congestion_level_exposed(self, model):
         level = model.congestion_level(DepartureTime.from_hour(0, 8.0))
         assert 0.0 <= level <= 1.0
+
+
+class _StubFeatures:
+    def __init__(self, road_type, speed_limit=50.0):
+        self.road_type = road_type
+        self.speed_limit = speed_limit
+
+
+class _StubNetwork:
+    """Minimal network exposing an out-of-vocabulary road type."""
+
+    num_edges = 2
+
+    def __init__(self):
+        self._features = [_StubFeatures("residential"), _StubFeatures("footway")]
+
+    def edge_features(self, edge_id):
+        return self._features[edge_id]
+
+    def edge_length(self, edge_id):
+        return 100.0
+
+
+class TestUnknownRoadTypeFallback:
+    """SpeedModel must not raise a bare KeyError on unseen road types."""
+
+    def test_unknown_road_type_uses_default_sensitivity(self):
+        from repro.trajectory import DEFAULT_CONGESTION_SENSITIVITY
+
+        model = SpeedModel(_StubNetwork(), seed=0)
+        # The jitter multiplier is in [0.85, 1.15], so the fallback edge's
+        # sensitivity must sit in the corresponding band around the default.
+        sensitivity = model._sensitivity[1]
+        assert DEFAULT_CONGESTION_SENSITIVITY * 0.85 <= sensitivity
+        assert sensitivity <= DEFAULT_CONGESTION_SENSITIVITY * 1.15
+
+    def test_unknown_road_type_prices_normally(self):
+        model = SpeedModel(_StubNetwork(), seed=0)
+        t = DepartureTime.from_hour(0, 8.0)
+        speed = model.edge_speed(1, t)
+        assert 0 < speed <= 50.0
+        assert model.edge_travel_time(1, t) > 0
