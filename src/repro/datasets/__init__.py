@@ -9,6 +9,7 @@ from .synthetic import (
     build_city_dataset,
     chengdu,
     harbin,
+    mapmatch_trips,
 )
 from .tasks import (
     RankingExample,
@@ -38,6 +39,7 @@ __all__ = [
     "DatasetScale",
     "CityDataset",
     "build_city_dataset",
+    "mapmatch_trips",
     "aalborg",
     "harbin",
     "chengdu",

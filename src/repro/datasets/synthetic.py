@@ -10,17 +10,19 @@ CPU in seconds-to-minutes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..roadnet.generator import CityConfig, generate_city_network
 from ..temporal.weak_labels import CongestionIndexLabeler, PeakOffPeakLabeler
+from ..trajectory.gps import GPSSampler
+from ..trajectory.mapmatching import HMMMapMatcher
 from ..trajectory.simulator import TripSimulator
 from ..trajectory.speeds import CongestionProfile, SpeedModel
 from .tasks import TaskDatasets, build_task_datasets
 from .temporal_paths import TemporalPath, TemporalPathDataset
 
-__all__ = ["DatasetScale", "CityDataset", "build_city_dataset", "aalborg", "harbin", "chengdu",
-           "DATASET_BUILDERS"]
+__all__ = ["DatasetScale", "CityDataset", "build_city_dataset", "mapmatch_trips",
+           "aalborg", "harbin", "chengdu", "DATASET_BUILDERS"]
 
 
 @dataclass(frozen=True)
@@ -88,12 +90,17 @@ _CITY_LAYOUTS = {
     # One-way fractions decrease from Aalborg to Chengdu so the edge/node
     # density ordering of the paper's Table II (Chengdu densest, Aalborg
     # sparsest) carries over to the synthetic networks.
+    # The "gps" block scales the paper's sampling regimes down to the
+    # synthetic networks: Aalborg's fleet logs at 1 Hz (dense, precise),
+    # Harbin's taxis at 1/30 Hz (sparse, noisy), Chengdu in between
+    # (1/4-1/2 Hz).  Used by the paths_from="mapmatched" scenario.
     "aalborg": {
         "arterial_every": 5,
         "one_way_fraction": 0.45,
         "signal_fraction": 0.25,
         "profile": CongestionProfile(morning_intensity=0.65, afternoon_intensity=0.55),
         "seed": 11,
+        "gps": {"sample_interval": 5.0, "noise_std": 5.0},
     },
     "harbin": {
         "arterial_every": 4,
@@ -101,6 +108,7 @@ _CITY_LAYOUTS = {
         "signal_fraction": 0.35,
         "profile": CongestionProfile(morning_intensity=0.85, afternoon_intensity=0.80),
         "seed": 23,
+        "gps": {"sample_interval": 30.0, "noise_std": 12.0},
     },
     "chengdu": {
         "arterial_every": 3,
@@ -108,19 +116,54 @@ _CITY_LAYOUTS = {
         "signal_fraction": 0.45,
         "profile": CongestionProfile(morning_intensity=0.90, afternoon_intensity=0.85),
         "seed": 37,
+        "gps": {"sample_interval": 10.0, "noise_std": 8.0},
     },
 }
 
 
-def build_city_dataset(name, scale=None, seed=None, impl="vectorized"):
+def mapmatch_trips(network, speed_model, trips, gps_settings, seed, impl):
+    """Replace each trip's path with the one recovered from noisy GPS.
+
+    Samples a GPS trace along every trip's true path with
+    :class:`~repro.trajectory.gps.GPSSampler`, recovers a path with the HMM
+    map matcher (one :meth:`~repro.trajectory.mapmatching.HMMMapMatcher.match_batch`
+    call so the Dijkstra cache is shared), and rebuilds the trips on the
+    recovered paths.  Trips whose trace cannot be matched to a non-empty
+    path keep their true path, so downstream corpus sizes are unchanged.
+    """
+    sampler = GPSSampler(network, speed_model, seed=seed, **gps_settings)
+    matcher = HMMMapMatcher(network, impl=impl)
+    trajectories = [sampler.sample(trip.path, trip.departure_time)
+                    for trip in trips]
+    matched_paths = matcher.match_batch(trajectories)
+    rebuilt = []
+    for trip, matched in zip(trips, matched_paths):
+        path = list(matched) if matched else list(trip.path)
+        rebuilt.append(replace(trip, path=path))
+    return rebuilt
+
+
+def build_city_dataset(name, scale=None, seed=None, impl="vectorized",
+                       paths_from="simulator"):
     """Build a synthetic :class:`CityDataset` for one of the three cities.
 
     ``impl`` selects the trip-simulation engine (``"vectorized"`` batched
     candidate pricing vs the ``"reference"`` per-edge loops); both produce
     bit-identical corpora, the vectorized engine is just faster.
+
+    ``paths_from`` selects where the corpus paths come from:
+
+    * ``"simulator"`` (default) — ground-truth simulator paths, as before;
+    * ``"mapmatched"`` — each trip's path is re-derived by sampling a noisy
+      GPS trace along it (at the city's rate/noise regime) and recovering a
+      path with the HMM map matcher, mimicking the paper's real ingestion
+      pipeline where pretraining corpora come from map-matched GPS.
     """
     if name not in _CITY_LAYOUTS:
         raise KeyError(f"unknown city {name!r}; expected one of {sorted(_CITY_LAYOUTS)}")
+    if paths_from not in ("simulator", "mapmatched"):
+        raise ValueError(
+            f"paths_from must be 'simulator' or 'mapmatched', got {paths_from!r}")
     layout = _CITY_LAYOUTS[name]
     scale = scale or DatasetScale.small()
     seed = layout["seed"] if seed is None else seed
@@ -138,6 +181,9 @@ def build_city_dataset(name, scale=None, seed=None, impl="vectorized"):
     speed_model = SpeedModel(network, profile=layout["profile"], seed=seed)
     simulator = TripSimulator(network, speed_model=speed_model, seed=seed, impl=impl)
     trips = simulator.simulate(scale.num_trips)
+    if paths_from == "mapmatched":
+        trips = mapmatch_trips(network, speed_model, trips, layout["gps"],
+                               seed, impl)
 
     pop_labeler = PeakOffPeakLabeler()
     tci_labeler = CongestionIndexLabeler(speed_model.congestion_level)
@@ -161,19 +207,22 @@ def build_city_dataset(name, scale=None, seed=None, impl="vectorized"):
     )
 
 
-def aalborg(scale=None, seed=None, impl="vectorized"):
+def aalborg(scale=None, seed=None, impl="vectorized", paths_from="simulator"):
     """Synthetic stand-in for the Aalborg, Denmark dataset."""
-    return build_city_dataset("aalborg", scale=scale, seed=seed, impl=impl)
+    return build_city_dataset("aalborg", scale=scale, seed=seed, impl=impl,
+                              paths_from=paths_from)
 
 
-def harbin(scale=None, seed=None, impl="vectorized"):
+def harbin(scale=None, seed=None, impl="vectorized", paths_from="simulator"):
     """Synthetic stand-in for the Harbin, China dataset."""
-    return build_city_dataset("harbin", scale=scale, seed=seed, impl=impl)
+    return build_city_dataset("harbin", scale=scale, seed=seed, impl=impl,
+                              paths_from=paths_from)
 
 
-def chengdu(scale=None, seed=None, impl="vectorized"):
+def chengdu(scale=None, seed=None, impl="vectorized", paths_from="simulator"):
     """Synthetic stand-in for the Chengdu, China dataset."""
-    return build_city_dataset("chengdu", scale=scale, seed=seed, impl=impl)
+    return build_city_dataset("chengdu", scale=scale, seed=seed, impl=impl,
+                              paths_from=paths_from)
 
 
 #: Name -> builder mapping used by the benchmark harness.

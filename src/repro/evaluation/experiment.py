@@ -50,6 +50,10 @@ class HarnessConfig:
 
     scale: DatasetScale = field(default_factory=DatasetScale.tiny)
     wsccl: WSCCLConfig = field(default_factory=WSCCLConfig.test_scale)
+    #: Where corpus paths come from: "simulator" uses ground-truth simulator
+    #: paths; "mapmatched" recovers each path from a noisy GPS trace with the
+    #: HMM map matcher (the paper's real ingestion regime).
+    paths_from: str = "simulator"
     baseline_dim: int = 16
     baseline_epochs: int = 1
     supervised_epochs: int = 2
@@ -101,7 +105,8 @@ class HarnessConfig:
 
 def build_dataset(city_name, config):
     """Build the synthetic dataset for one of the three cities."""
-    return build_city_dataset(city_name, scale=config.scale, seed=None)
+    return build_city_dataset(city_name, scale=config.scale, seed=None,
+                              paths_from=config.paths_from)
 
 
 # ----------------------------------------------------------------------

@@ -3,7 +3,14 @@
 from .features import MAX_LANES, ROAD_TYPES, EdgeFeatures, FeatureEncoder
 from .generator import CityConfig, generate_city_network
 from .network import Path, RoadNetwork
-from .search import k_shortest_paths, path_similarity, shortest_path
+from .search import (
+    DijkstraCache,
+    k_shortest_paths,
+    multi_target_distances,
+    path_similarity,
+    shortest_path,
+)
+from .spatial_index import SegmentGridIndex
 
 __all__ = [
     "EdgeFeatures",
@@ -17,4 +24,7 @@ __all__ = [
     "shortest_path",
     "k_shortest_paths",
     "path_similarity",
+    "multi_target_distances",
+    "DijkstraCache",
+    "SegmentGridIndex",
 ]

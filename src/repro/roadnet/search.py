@@ -10,11 +10,14 @@ k-shortest-path enumeration, both expressed over edge travel costs.
 from __future__ import annotations
 
 import heapq
+from collections import OrderedDict
 
-__all__ = ["shortest_path", "k_shortest_paths", "path_similarity"]
+__all__ = ["shortest_path", "k_shortest_paths", "path_similarity",
+           "multi_target_distances", "DijkstraCache"]
 
 
-def shortest_path(network, source, target, edge_cost=None, banned_edges=None):
+def shortest_path(network, source, target, edge_cost=None, banned_edges=None,
+                  banned_nodes=None):
     """Dijkstra shortest path from ``source`` to ``target`` node.
 
     Parameters
@@ -27,6 +30,9 @@ def shortest_path(network, source, target, edge_cost=None, banned_edges=None):
         Optional callable ``edge_id -> cost``.  Defaults to free-flow time.
     banned_edges:
         Optional set of edge ids that must not be used.
+    banned_nodes:
+        Optional set of node ids that must not be visited (the source itself
+        is exempt).  Yen's spur searches use this to stay loop-free.
 
     Returns
     -------
@@ -35,6 +41,7 @@ def shortest_path(network, source, target, edge_cost=None, banned_edges=None):
     if edge_cost is None:
         edge_cost = lambda e: network.edge_features(e).free_flow_time
     banned = banned_edges or frozenset()
+    banned_node_set = banned_nodes or frozenset()
 
     best = {source: 0.0}
     back_edge = {}
@@ -51,6 +58,8 @@ def shortest_path(network, source, target, edge_cost=None, banned_edges=None):
             if edge in banned:
                 continue
             _, neighbour = network.edge_endpoints(edge)
+            if neighbour in banned_node_set:
+                continue
             step = edge_cost(edge)
             if step < 0:
                 raise ValueError("edge costs must be non-negative for Dijkstra")
@@ -81,7 +90,10 @@ def k_shortest_paths(network, source, target, k, edge_cost=None):
 
     The deviation-path construction bans one edge of the current best path at
     a time, which yields genuinely different alternatives — exactly what the
-    ranking/recommendation tasks need as negative candidates.
+    ranking/recommendation tasks need as negative candidates.  Each spur
+    search additionally bans the root path's nodes, so a spur can never
+    revisit a node already used by its root — without this, the returned
+    "loop-free" paths could repeat nodes and edges.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
@@ -108,8 +120,13 @@ def k_shortest_paths(network, source, target, k, edge_cost=None):
             for path in accepted:
                 if list(path[:spur_index]) == list(root) and spur_index < len(path):
                     banned.add(path[spur_index])
+            # Nodes already visited by the root (everything before the spur
+            # node) must stay off-limits, otherwise the spur path can loop
+            # back through the root.
+            root_nodes = {network.edge_endpoints(edge)[0] for edge in root}
             spur = shortest_path(network, spur_node, target,
-                                 edge_cost=edge_cost, banned_edges=banned)
+                                 edge_cost=edge_cost, banned_edges=banned,
+                                 banned_nodes=root_nodes)
             if spur is None:
                 continue
             candidate = list(root) + spur
@@ -128,6 +145,175 @@ def k_shortest_paths(network, source, target, k, edge_cost=None):
     # "ordered by cost" contract always holds (the true shortest stays first).
     accepted.sort(key=cost_of)
     return accepted
+
+
+def multi_target_distances(network, source, targets, edge_cost=None,
+                           max_cost=None):
+    """Bounded multi-target Dijkstra: distances from ``source`` to ``targets``.
+
+    One heap run prices every requested target, stopping as soon as all of
+    them are settled (or, with ``max_cost``, as soon as the search frontier
+    exceeds the bound).  The relaxation order and float accumulation are
+    identical to :func:`shortest_path`, so for any reachable target the
+    returned distance is bit-identical to summing the edge costs of the
+    corresponding :func:`shortest_path` result.
+
+    Parameters
+    ----------
+    network:
+        A :class:`~repro.roadnet.network.RoadNetwork`.
+    source:
+        Source node id.
+    targets:
+        Iterable of target node ids.
+    edge_cost:
+        Optional callable ``edge_id -> cost``.  Defaults to free-flow time.
+    max_cost:
+        Optional search bound; targets farther than this come back infinite.
+
+    Returns
+    -------
+    dict mapping each target to its distance (``float("inf")`` when the
+    target is unreachable or beyond ``max_cost``).
+    """
+    if edge_cost is None:
+        edge_cost = lambda e: network.edge_features(e).free_flow_time
+    state = _DijkstraState(source)
+    state.settle(targets, _NetworkAdjacency(network, edge_cost),
+                 max_cost=max_cost)
+    infinity = float("inf")
+    return {target: state.settled.get(target, infinity) for target in targets}
+
+
+class _NetworkAdjacency:
+    """Lazy per-node ``[(cost, head), ...]`` rows computed from the network.
+
+    Rows are built (and edge costs validated) on first access, so one-shot
+    searches touch only the nodes they actually relax.
+    """
+
+    __slots__ = ("_network", "_edge_cost", "_rows")
+
+    def __init__(self, network, edge_cost):
+        self._network = network
+        self._edge_cost = edge_cost
+        self._rows = {}
+
+    def __getitem__(self, node):
+        rows = self._rows.get(node)
+        if rows is None:
+            rows = []
+            for edge in self._network.out_edges(node):
+                step = self._edge_cost(edge)
+                if step < 0:
+                    raise ValueError("edge costs must be non-negative for Dijkstra")
+                rows.append((step, self._network.edge_endpoints(edge)[1]))
+            self._rows[node] = rows
+        return rows
+
+
+class _DijkstraState:
+    """A resumable single-source Dijkstra run over an adjacency table."""
+
+    __slots__ = ("best", "settled", "heap")
+
+    def __init__(self, source):
+        self.best = {source: 0.0}
+        self.settled = {}
+        self.heap = [(0.0, source)]
+
+    def settle(self, targets, adjacency, max_cost=None):
+        """Pop until every node in ``targets`` is settled (or the heap dries
+        up, or the frontier exceeds ``max_cost``)."""
+        remaining = {t for t in targets if t not in self.settled}
+        heap = self.heap
+        settled = self.settled
+        best = self.best
+        while heap and remaining:
+            cost, node = heapq.heappop(heap)
+            if node in settled:
+                continue
+            if max_cost is not None and cost > max_cost:
+                # Keep the frontier intact so a later unbounded resume can
+                # continue from here.
+                heapq.heappush(heap, (cost, node))
+                break
+            settled[node] = cost
+            remaining.discard(node)
+            for step, neighbour in adjacency[node]:
+                candidate = cost + step
+                if candidate < best.get(neighbour, float("inf")):
+                    best[neighbour] = candidate
+                    heapq.heappush(heap, (candidate, neighbour))
+
+
+class DijkstraCache:
+    """LRU cache of resumable single-source Dijkstra searches.
+
+    The HMM map matcher prices the network distance between every pair of
+    consecutive candidate edges; without caching, that is one full Dijkstra
+    per Viterbi cell.  This cache keys a resumable search state by source
+    node, so each unique source is explored once — later queries (from any
+    Viterbi step, or any trajectory in a batch) resume the existing frontier
+    only as far as the new targets require.
+
+    Distances are bit-identical to :func:`shortest_path` edge-cost sums: the
+    relaxation order (``network.out_edges`` order) and the float accumulation
+    (``cost + step`` along the shortest-path tree) are the same.
+
+    Parameters
+    ----------
+    network:
+        A :class:`~repro.roadnet.network.RoadNetwork`.
+    edge_cost:
+        Optional callable ``edge_id -> cost``.  Defaults to free-flow time.
+    max_sources:
+        How many source states to keep (least recently used are evicted).
+    """
+
+    def __init__(self, network, edge_cost=None, max_sources=4096):
+        if max_sources < 1:
+            raise ValueError("max_sources must be >= 1")
+        if edge_cost is None:
+            edge_cost = lambda e: network.edge_features(e).free_flow_time
+        self.max_sources = max_sources
+        # Adjacency rows — (cost, head) per outgoing edge in out_edges order
+        # — are materialised once per touched node and shared by every cached
+        # state, keeping resumed relaxations free of per-edge method calls.
+        self._adjacency = _NetworkAdjacency(network, edge_cost)
+        self._states = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._states)
+
+    def distances(self, source, targets):
+        """Distances from ``source`` to each node in ``targets``.
+
+        Returns a dict ``target -> distance`` with ``float("inf")`` for
+        unreachable targets.
+        """
+        state = self._states.get(source)
+        if state is None:
+            self.misses += 1
+            state = _DijkstraState(source)
+            self._states[source] = state
+            if len(self._states) > self.max_sources:
+                self._states.popitem(last=False)
+        else:
+            self.hits += 1
+        self._states.move_to_end(source)
+        state.settle(targets, self._adjacency)
+        infinity = float("inf")
+        settled = state.settled
+        return {target: settled.get(target, infinity) for target in targets}
+
+    def clear(self):
+        """Drop all cached states (and reset the hit/miss counters)."""
+        self._states.clear()
+        self.hits = 0
+        self.misses = 0
 
 
 def path_similarity(network, path_a, path_b):

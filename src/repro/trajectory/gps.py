@@ -65,7 +65,16 @@ class GPSSampler:
         self.rng = np.random.default_rng(seed)
 
     def sample(self, path, departure_time):
-        """Generate a :class:`GPSTrajectory` for driving ``path`` at ``departure_time``."""
+        """Generate a :class:`GPSTrajectory` for driving ``path`` at ``departure_time``.
+
+        Raises
+        ------
+        ValueError
+            If ``path`` is empty (there is no geometry to sample along).
+        """
+        path = list(path)
+        if not path:
+            raise ValueError("cannot sample GPS fixes along an empty path")
         # Per-edge traversal times with the clock advancing along the path.
         clock = departure_time
         edge_times = []
@@ -77,9 +86,12 @@ class GPSSampler:
         cumulative = np.concatenate(([0.0], np.cumsum(edge_times)))
         total_time = cumulative[-1]
 
+        # Strictly-before comparison: when total_time is an exact multiple of
+        # the sample interval, the final fix appended below would otherwise
+        # be duplicated (two points with identical timestamp and position).
         points = []
         timestamp = 0.0
-        while timestamp <= total_time:
+        while timestamp < total_time:
             position = self._position_at(path, cumulative, timestamp)
             noisy = (
                 position[0] + self.rng.normal(0.0, self.noise_std),

@@ -85,7 +85,12 @@ class CongestionProfile:
 
 
 def _bump(hour, center, width):
-    return np.exp(-0.5 * ((hour - center) / width) ** 2)
+    # Square via multiplication, not `** 2`: CPython computes float ** 2.0
+    # through libm pow(), which can land one ulp away from the correctly
+    # rounded x*x that numpy uses for arrays — and scalar and batched
+    # congestion levels must agree bit for bit.
+    z = (hour - center) / width
+    return np.exp(-0.5 * (z * z))
 
 
 #: How strongly each road type responds to congestion.  Motorways and

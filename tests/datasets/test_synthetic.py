@@ -59,3 +59,49 @@ class TestBuildCityDataset:
         assert len(a.trips) == len(b.trips)
         np.testing.assert_allclose(
             [t.travel_time for t in a.trips], [t.travel_time for t in b.trips])
+
+
+class TestMapMatchedPaths:
+    @pytest.fixture(scope="class")
+    def mapmatched_city(self):
+        return build_city_dataset("aalborg", scale=DatasetScale.tiny(),
+                                  paths_from="mapmatched")
+
+    def test_invalid_paths_from_rejected(self):
+        with pytest.raises(ValueError, match="paths_from"):
+            build_city_dataset("aalborg", scale=DatasetScale.tiny(),
+                               paths_from="oracle")
+
+    def test_corpus_sizes_match_simulator_build(self, mapmatched_city, tiny_city):
+        assert len(mapmatched_city.trips) == len(tiny_city.trips)
+        assert len(mapmatched_city.unlabeled) == len(tiny_city.unlabeled)
+        assert (len(mapmatched_city.tasks.travel_time)
+                == len(tiny_city.tasks.travel_time))
+
+    def test_recovered_paths_live_on_the_network(self, mapmatched_city):
+        for tp in mapmatched_city.unlabeled.temporal_paths:
+            assert len(tp.path) >= 1
+            assert max(tp.path) < mapmatched_city.network.num_edges
+            assert mapmatched_city.network.is_connected_path(list(tp.path))
+
+    def test_gps_noise_actually_flows_into_the_corpus(self, mapmatched_city,
+                                                      tiny_city):
+        """Map matching noisy GPS must change at least some corpus paths."""
+        differing = sum(
+            1 for matched, truth in zip(mapmatched_city.trips, tiny_city.trips)
+            if list(matched.path) != list(truth.path))
+        assert differing > 0
+
+    def test_departure_times_and_labels_preserved(self, mapmatched_city,
+                                                  tiny_city):
+        for matched, truth in zip(mapmatched_city.trips, tiny_city.trips):
+            assert matched.departure_time == truth.departure_time
+            assert matched.travel_time == truth.travel_time
+            assert (matched.origin, matched.destination) == (truth.origin,
+                                                             truth.destination)
+
+    def test_deterministic_rebuild(self, mapmatched_city):
+        rebuilt = build_city_dataset("aalborg", scale=DatasetScale.tiny(),
+                                     paths_from="mapmatched")
+        assert ([list(t.path) for t in rebuilt.trips]
+                == [list(t.path) for t in mapmatched_city.trips])

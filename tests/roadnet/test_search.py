@@ -8,10 +8,12 @@ import pytest
 
 from repro.roadnet import (
     CityConfig,
+    DijkstraCache,
     EdgeFeatures,
     RoadNetwork,
     generate_city_network,
     k_shortest_paths,
+    multi_target_distances,
     path_similarity,
     shortest_path,
 )
@@ -81,6 +83,127 @@ class TestShortestPath:
             assert our_length == pytest.approx(reference, rel=1e-9)
 
 
+@pytest.fixture()
+def spur_loop_network():
+    """A graph where edge-only spur bans let Yen emit a looped path.
+
+    The 0-3 shortest path is 0-1-2-3.  Banning only edge 1->2 in the spur
+    search from node 1 leaves the detour 1-4-0-2-3 open, which concatenated
+    with the root [0->1] revisits node 0.
+    """
+    network = RoadNetwork()
+    for i in range(5):
+        network.add_node(float(i), 0.0)
+    network.add_edge(0, 1, features(100.0))   # 0
+    network.add_edge(1, 2, features(100.0))   # 1
+    network.add_edge(2, 3, features(100.0))   # 2
+    network.add_edge(1, 4, features(100.0))   # 3
+    network.add_edge(4, 0, features(100.0))   # 4
+    network.add_edge(0, 2, features(1000.0))  # 5
+    return network
+
+
+class TestBannedNodes:
+    def test_banned_nodes_force_detour(self, diamond_network):
+        path = shortest_path(diamond_network, 0, 3, banned_nodes={1})
+        assert path == [2, 3]
+
+    def test_banned_nodes_can_disconnect(self, diamond_network):
+        assert shortest_path(diamond_network, 0, 3, banned_nodes={1, 2}) is None
+
+
+class TestMultiTargetDistances:
+    def test_matches_shortest_path_costs(self):
+        network = generate_city_network(
+            CityConfig(name="mt", grid_rows=5, grid_cols=5, seed=2))
+        rng = np.random.default_rng(1)
+        source = int(rng.integers(0, network.num_nodes))
+        targets = [int(t) for t in rng.integers(0, network.num_nodes, size=8)]
+        distances = multi_target_distances(network, source, targets,
+                                           edge_cost=network.edge_length)
+        for target in targets:
+            path = shortest_path(network, source, target,
+                                 edge_cost=network.edge_length)
+            if path is None:
+                assert distances[target] == float("inf")
+            else:
+                assert distances[target] == sum(network.edge_length(e) for e in path)
+
+    def test_source_distance_is_zero(self, diamond_network):
+        assert multi_target_distances(diamond_network, 0, [0])[0] == 0.0
+
+    def test_unreachable_target_is_infinite(self, diamond_network):
+        assert multi_target_distances(diamond_network, 3, [0])[0] == float("inf")
+
+    def test_max_cost_bounds_the_search(self, diamond_network):
+        # 0 -> 3 costs 200 via lengths; a 150 bound cuts it off.
+        distances = multi_target_distances(diamond_network, 0, [1, 3],
+                                           edge_cost=diamond_network.edge_length,
+                                           max_cost=150.0)
+        assert distances[1] == 100.0
+        assert distances[3] == float("inf")
+
+
+class TestDijkstraCache:
+    def test_matches_shortest_path_costs_exactly(self):
+        network = generate_city_network(
+            CityConfig(name="dc", grid_rows=5, grid_cols=5, seed=6))
+        cache = DijkstraCache(network, edge_cost=network.edge_length)
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            source = int(rng.integers(0, network.num_nodes))
+            targets = [int(t) for t in rng.integers(0, network.num_nodes, size=5)]
+            distances = cache.distances(source, targets)
+            for target in targets:
+                path = shortest_path(network, source, target,
+                                     edge_cost=network.edge_length)
+                if path is None:
+                    assert distances[target] == float("inf")
+                else:
+                    # Bit-identical to the shortest_path edge-cost sum.
+                    assert distances[target] == sum(
+                        network.edge_length(e) for e in path)
+
+    def test_resumed_queries_match_fresh_runs(self, diamond_network):
+        cache = DijkstraCache(diamond_network,
+                              edge_cost=diamond_network.edge_length)
+        first = cache.distances(0, [1])
+        second = cache.distances(0, [1, 2, 3])
+        fresh = multi_target_distances(diamond_network, 0, [1, 2, 3],
+                                       edge_cost=diamond_network.edge_length)
+        assert first[1] == fresh[1]
+        assert second == fresh
+
+    def test_hit_miss_counters(self, diamond_network):
+        cache = DijkstraCache(diamond_network)
+        cache.distances(0, [3])
+        cache.distances(0, [1])
+        cache.distances(1, [3])
+        assert cache.misses == 2
+        assert cache.hits == 1
+
+    def test_lru_eviction(self, diamond_network):
+        cache = DijkstraCache(diamond_network, max_sources=2)
+        cache.distances(0, [3])
+        cache.distances(1, [3])
+        cache.distances(2, [3])
+        assert len(cache) == 2
+        # Source 0 was least recently used; re-querying it is a miss again.
+        cache.distances(0, [3])
+        assert cache.misses == 4
+
+    def test_clear(self, diamond_network):
+        cache = DijkstraCache(diamond_network)
+        cache.distances(0, [3])
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_invalid_capacity(self, diamond_network):
+        with pytest.raises(ValueError):
+            DijkstraCache(diamond_network, max_sources=0)
+
+
 class TestKShortestPaths:
     def test_returns_distinct_ordered_paths(self, diamond_network):
         paths = k_shortest_paths(diamond_network, 0, 3, k=2)
@@ -110,6 +233,34 @@ class TestKShortestPaths:
 
     def test_unreachable_gives_empty_list(self, diamond_network):
         assert k_shortest_paths(diamond_network, 3, 0, k=3) == []
+
+    def test_spur_paths_cannot_revisit_root_nodes(self, spur_loop_network):
+        """Regression: edge-only spur bans used to emit looped paths.
+
+        On this graph the old code returned [0, 3, 4, 5, 2] (node sequence
+        0-1-4-0-2-3, revisiting node 0) as the third path.
+        """
+        paths = k_shortest_paths(spur_loop_network, 0, 3, k=3,
+                                 edge_cost=spur_loop_network.edge_length)
+        assert paths == [[0, 1, 2], [5, 2]]
+        for path in paths:
+            nodes = spur_loop_network.path_nodes(path)
+            assert len(nodes) == len(set(nodes))
+
+    def test_all_paths_are_loop_free_on_generated_city(self):
+        network = generate_city_network(
+            CityConfig(name="ksp3", grid_rows=5, grid_cols=5, seed=13))
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            source, target = (int(n) for n in
+                              rng.integers(0, network.num_nodes, size=2))
+            if source == target:
+                continue
+            for path in k_shortest_paths(network, source, target, k=4,
+                                         edge_cost=network.edge_length):
+                nodes = network.path_nodes(path)
+                assert len(nodes) == len(set(nodes))
+                assert len(path) == len(set(path))
 
 
 class TestPathSimilarity:

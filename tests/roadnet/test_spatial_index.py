@@ -1,0 +1,74 @@
+"""Tests for the segment grid index used by map-matching candidate search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.roadnet import SegmentGridIndex
+
+
+def segment_arrays(network):
+    starts = np.zeros((network.num_edges, 2))
+    ends = np.zeros((network.num_edges, 2))
+    for edge in range(network.num_edges):
+        source, target = network.edge_endpoints(edge)
+        starts[edge] = network.node_coordinates(source)
+        ends[edge] = network.node_coordinates(target)
+    return starts, ends
+
+
+def segment_distances(starts, ends, point):
+    point = np.asarray(point, dtype=np.float64)
+    direction = ends - starts
+    length_sq = np.maximum((direction ** 2).sum(axis=1), 1e-9)
+    t = np.clip(((point - starts) * direction).sum(axis=1) / length_sq, 0.0, 1.0)
+    projection = starts + t[:, None] * direction
+    return np.sqrt(((projection - point) ** 2).sum(axis=1))
+
+
+class TestSegmentGridIndex:
+    @pytest.fixture(scope="class")
+    def indexed(self, tiny_network):
+        starts, ends = segment_arrays(tiny_network)
+        return SegmentGridIndex(starts, ends, cell_size=120.0), starts, ends
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SegmentGridIndex(np.zeros((2, 2)), np.ones((2, 2)), cell_size=0.0)
+        with pytest.raises(ValueError):
+            SegmentGridIndex(np.zeros((2, 3)), np.ones((2, 3)), cell_size=50.0)
+        with pytest.raises(ValueError):
+            SegmentGridIndex(np.zeros((2, 2)), np.ones((3, 2)), cell_size=50.0)
+
+    def test_query_is_sorted_and_unique(self, indexed):
+        index, _, _ = indexed
+        edges = index.query((400.0, 400.0), 150.0)
+        assert len(edges)
+        assert np.array_equal(edges, np.unique(edges))
+
+    def test_query_superset_of_radius_neighbourhood(self, indexed):
+        """Every edge within the radius must be returned (may include more)."""
+        index, starts, ends = indexed
+        rng = np.random.default_rng(9)
+        for _ in range(25):
+            point = rng.uniform(-300.0, 1200.0, size=2)
+            radius = float(rng.uniform(10.0, 300.0))
+            returned = set(int(e) for e in index.query(point, radius))
+            within = set(np.flatnonzero(
+                segment_distances(starts, ends, point) <= radius).tolist())
+            assert within <= returned
+
+    def test_far_away_point_returns_empty(self, indexed):
+        index, _, _ = indexed
+        assert index.query((1e7, 1e7), 50.0).size == 0
+
+    def test_negative_radius_rejected(self, indexed):
+        index, _, _ = indexed
+        with pytest.raises(ValueError):
+            index.query((0.0, 0.0), -1.0)
+
+    def test_empty_index(self):
+        index = SegmentGridIndex(np.zeros((0, 2)), np.zeros((0, 2)),
+                                 cell_size=100.0)
+        assert index.query((0.0, 0.0), 100.0).size == 0

